@@ -1,0 +1,93 @@
+"""Ablation of sort-select-swap's stages and knobs (beyond the paper).
+
+Quantifies what each stage of Algorithm 2 buys: the stratified select
+alone, the sliding-window swap, and the final per-application polish; plus
+sensitivity to the section-representative policy and the window width.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.sss import SSSConfig, select_only_mapping, sort_select_swap
+from repro.experiments.base import CONFIG_NAMES, standard_instance
+from repro.utils.text import format_table
+
+
+def _sweep(config: SSSConfig):
+    maxes, devs = [], []
+    for name in CONFIG_NAMES:
+        instance = standard_instance(name)
+        r = sort_select_swap(instance, config)
+        maxes.append(r.max_apl)
+        devs.append(r.dev_apl)
+    return float(np.mean(maxes)), float(np.mean(devs))
+
+
+def test_stage_contributions(benchmark):
+    """select-only vs +swap vs +polish: each stage must not hurt max-APL."""
+
+    def run():
+        select_max = np.mean(
+            [select_only_mapping(standard_instance(n)).max_apl for n in CONFIG_NAMES]
+        )
+        swap_max, _ = _sweep(SSSConfig(final_polish=False))
+        full_max, full_dev = _sweep(SSSConfig())
+        return float(select_max), swap_max, full_max, full_dev
+
+    select_max, swap_max, full_max, full_dev = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["stage", "avg max-APL"],
+            [
+                ["sort+select only", select_max],
+                ["+ sliding-window swap", swap_max],
+                ["+ final SAM polish (full SSS)", full_max],
+            ],
+            title="SSS stage ablation (avg over C1-C8)",
+        )
+    )
+    assert swap_max <= select_max + 1e-9
+    assert full_max <= swap_max + 1e-9
+
+
+@pytest.mark.parametrize("select", ["middle", "first", "last", "random"])
+def test_select_policy(benchmark, select):
+    """The paper's middle-of-section pick vs alternatives."""
+    max_apl, dev_apl = run_once(benchmark, _sweep, SSSConfig(select=select))
+    print(f"\nselect={select}: avg max-APL {max_apl:.3f}, dev-APL {dev_apl:.4f}")
+    # Every policy must stay in the plausible band; 'middle' is the paper's.
+    assert max_apl < 23.0
+
+
+@pytest.mark.parametrize("window", [3, 4, 5])
+def test_window_width(benchmark, window):
+    """Wider windows explore more permutations per position (w!)."""
+    max_apl, dev_apl = run_once(benchmark, _sweep, SSSConfig(window=window))
+    print(f"\nwindow={window}: avg max-APL {max_apl:.3f}, dev-APL {dev_apl:.4f}")
+    assert max_apl < 23.0
+
+
+@pytest.mark.parametrize("passes", [1, 2])
+def test_swap_passes(benchmark, passes):
+    """A second greedy sweep (an extension beyond the paper)."""
+    max_apl, dev_apl = run_once(benchmark, _sweep, SSSConfig(swap_passes=passes))
+    print(f"\npasses={passes}: avg max-APL {max_apl:.3f}, dev-APL {dev_apl:.4f}")
+    assert max_apl < 23.0
+
+
+def test_rebalance_after_polish(benchmark):
+    """Extension: one extra swap sweep after the final SAM polish.
+
+    Recovers the balance the per-application polish spends: dev-APL drops
+    ~2x at unchanged (or slightly better) max-APL.
+    """
+    base = _sweep(SSSConfig())
+    extended = run_once(benchmark, _sweep, SSSConfig(rebalance_after_polish=True))
+    print(
+        f"\npaper-faithful: max {base[0]:.3f}, dev {base[1]:.4f}"
+        f"\n+rebalance:     max {extended[0]:.3f}, dev {extended[1]:.4f}"
+    )
+    assert extended[0] <= base[0] + 1e-9
+    assert extended[1] <= base[1]

@@ -1,0 +1,69 @@
+"""Optimality certification: lower bounds and exact solutions vs heuristics.
+
+Beyond the paper: the OBM lower bound (DESIGN.md §6) turns "SSS is
+near-optimal" into a measured optimality gap per configuration, and
+branch-and-bound verifies SSS exactly on small instances.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.bounds import max_apl_lower_bound
+from repro.core.exact import branch_and_bound
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+from repro.experiments.base import CONFIG_NAMES, standard_instance
+from repro.utils.text import format_table
+
+
+def test_sss_optimality_gap(benchmark):
+    """Certified gap of SSS vs the lower bound on all eight configurations."""
+
+    def run():
+        rows = []
+        for name in CONFIG_NAMES:
+            instance = standard_instance(name)
+            lb = max_apl_lower_bound(instance)
+            sss = sort_select_swap(instance)
+            rows.append([name, lb.value, sss.max_apl, lb.gap(sss.max_apl) * 100])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["config", "lower bound", "SSS max-APL", "gap %"],
+            rows,
+            title="SSS optimality certification",
+        )
+    )
+    gaps = [r[3] for r in rows]
+    assert max(gaps) < 8.0
+    assert float(np.mean(gaps)) < 5.0
+
+
+def test_exact_verification_small(benchmark):
+    """Branch-and-bound on 3x3 instances: SSS within 2% of true optimum."""
+
+    def run():
+        gaps = []
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            model = MeshLatencyModel(Mesh.square(3))
+            apps = (
+                Application("a", rng.uniform(0.3, 3, 4), rng.uniform(0, 1, 4)),
+                Application("b", rng.uniform(0.3, 3, 5), rng.uniform(0, 1, 5)),
+            )
+            instance = OBMInstance(model, Workload(apps))
+            sss = sort_select_swap(instance)
+            exact = branch_and_bound(instance, warm_start=sss.mapping)
+            assert exact.extra["proved_optimal"]
+            gaps.append(sss.max_apl / exact.max_apl - 1)
+        return gaps
+
+    gaps = run_once(benchmark, run)
+    print(f"\nSSS vs exact optimum on 10 random 3x3 instances: "
+          f"mean gap {np.mean(gaps):.3%}, worst {max(gaps):.3%}")
+    assert np.mean(gaps) < 0.02

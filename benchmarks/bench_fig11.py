@@ -1,0 +1,15 @@
+"""Figure 11: dynamic NoC power of the four mapping algorithms."""
+
+from conftest import run_once
+
+from repro.experiments.power import fig11
+
+
+def test_fig11(benchmark, report_printer):
+    report = run_once(benchmark, fig11)
+    report_printer(report)
+    overheads = report.data["overheads"]
+    # Paper: SSS within 2.7% of Global and no worse than MC/SA.
+    assert overheads["SSS"] < 0.06
+    assert overheads["SSS"] <= overheads["MC"] + 0.005
+    assert overheads["SSS"] <= overheads["SA"] + 0.005

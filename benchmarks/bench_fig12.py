@@ -1,0 +1,20 @@
+"""Figure 12: SA quality as a function of runtime, normalized to SSS."""
+
+from conftest import run_once
+
+from repro.experiments.runtime import fig12
+
+
+def test_fig12(benchmark, report_printer):
+    report = run_once(benchmark, fig12)
+    report_printer(report)
+    budgets = report.data["budgets"]
+    sa_max = report.data["sa_max_apl"]
+    sss_max = report.data["sss_max_apl"]
+    # Diminishing returns: the largest budget beats the smallest...
+    assert sa_max[budgets[-1]] < sa_max[budgets[0]]
+    # ...but SA still does not beat SSS meaningfully at its largest budget
+    # (paper: SSS ahead even at 100x runtime).
+    assert sa_max[budgets[-1]] >= sss_max * 0.995
+    # And the largest budget costs far more wall-clock than SSS.
+    assert report.data["sa_runtime"][budgets[-1]] > 3 * report.data["sss_runtime"]

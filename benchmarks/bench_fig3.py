@@ -1,0 +1,17 @@
+"""Figure 3: the per-tile latency heat maps."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3(benchmark, report_printer):
+    report = run_once(benchmark, fig3)
+    report_printer(report)
+    tc, tm = report.data["tc"], report.data["tm"]
+    # Cache latency: darkest at the corners, lightest at the centre.
+    assert tc[0, 0] == tc.max()
+    assert tc[3, 3] == tc.min()
+    # Memory latency: zero at corner controllers, max at the centre.
+    assert tm[0, 0] == 0.0
+    assert tm[3, 3] == tm.max()

@@ -1,0 +1,18 @@
+"""Figure 4: the Global mapping layout of C1."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4(benchmark, report_printer):
+    report = run_once(benchmark, fig4)
+    report_printer(report)
+    apls = report.data["apls"]
+    active = apls[~np.isnan(apls)]
+    # Global trades balance for throughput: per-app APLs spread widely.
+    assert active.max() - active.min() > 1.0
+    # The worst-served app is one of the lighter ones (low app ids after
+    # sorting by traffic), matching the paper's corner-exile observation.
+    assert int(np.nanargmax(apls)) <= 1

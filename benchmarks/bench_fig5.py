@@ -1,0 +1,20 @@
+"""Figure 5: exact reproduction of the 4x4 metric-comparison example."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5(benchmark, report_printer):
+    report = run_once(benchmark, fig5)
+    report_printer(report)
+    good, bad = report.data["good"], report.data["bad"]
+    # Exact paper values.
+    assert good.max_apl == pytest.approx(10.3375)
+    assert bad.max_apl == pytest.approx(11.5375)
+    # Both perfectly balanced -> deviation metrics cannot tell them apart.
+    assert good.dev_apl == pytest.approx(0.0, abs=1e-9)
+    assert bad.dev_apl == pytest.approx(0.0, abs=1e-9)
+    assert good.min_max_ratio == pytest.approx(1.0)
+    assert bad.min_max_ratio == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Empirical runtime scaling of SSS and Global vs mesh size.
+
+The paper claims O(N^3) for both the Hungarian-based Global and
+sort-select-swap; this bench measures wall-clock across mesh sizes and
+checks the growth exponent stays polynomial and in the right ballpark.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.baselines import global_mapping
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+from repro.utils.text import format_table
+
+SIZES = (4, 6, 8, 10, 12)
+
+
+def make_instance(n: int) -> OBMInstance:
+    rng = np.random.default_rng(n)
+    model = MeshLatencyModel(Mesh.square(n))
+    per_app = model.n_tiles // 4
+    apps = tuple(
+        Application(
+            f"a{i}", rng.lognormal(0, 0.8, per_app), rng.lognormal(-2, 0.8, per_app)
+        )
+        for i in range(4)
+    )
+    return OBMInstance(model, Workload(apps))
+
+
+def test_scaling(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            inst = make_instance(n)
+            t0 = time.perf_counter()
+            sss = sort_select_swap(inst)
+            t_sss = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            glob = global_mapping(inst)
+            t_glob = time.perf_counter() - t0
+            rows.append([f"{n}x{n}", inst.n, t_sss * 1e3, t_glob * 1e3,
+                         sss.max_apl / glob.max_apl])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["mesh", "N", "SSS ms", "Global ms", "SSS/Global max-APL"],
+            rows,
+            title="runtime scaling",
+        )
+    )
+    # Fit log(time) ~ k*log(N): the growth exponent should be polynomial
+    # and not above ~4 (O(N^3) plus interpreter noise).
+    ns = np.array([r[1] for r in rows], dtype=float)
+    ts = np.array([r[2] for r in rows], dtype=float)
+    k = np.polyfit(np.log(ns), np.log(ts), 1)[0]
+    print(f"SSS empirical growth exponent: {k:.2f}")
+    assert k < 4.5
+    # Balancing must not collapse at larger meshes either.
+    assert all(r[4] < 1.02 for r in rows)

@@ -1,0 +1,32 @@
+"""Robustness benchmarks: workload-seed and latency-parameter sensitivity.
+
+Beyond the paper (which evaluates one trace per configuration): the
+headline SSS-vs-Global gains must survive workload redraws and timing
+recalibration to count as reproduced.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import (
+    latency_param_sensitivity,
+    seed_sensitivity,
+)
+
+
+def test_seed_sensitivity(benchmark, report_printer):
+    report = run_once(
+        benchmark, seed_sensitivity, config_names=("C1", "C2", "C3", "C4"),
+        n_seeds=5,
+    )
+    report_printer(report)
+    assert report.data["max_gain_mean"] > 0.05
+    assert report.data["max_gain_min"] > 0.0
+    assert report.data["dev_gain_mean"] > 0.95
+
+
+def test_latency_param_sensitivity(benchmark, report_printer):
+    report = run_once(benchmark, latency_param_sensitivity, "C1")
+    report_printer(report)
+    for cell in report.data.values():
+        assert cell["gain"] > 0.05
+        assert cell["dev_ratio"] < 0.05

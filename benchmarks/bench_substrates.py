@@ -1,0 +1,61 @@
+"""Throughput benchmarks of the substrates: Hungarian solver, NoC cycle
+simulator, and the coherent memory hierarchy."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.cmp.hierarchy import CMPMemoryHierarchy
+from repro.cmp.trace import PERSONALITIES, generate_trace
+from repro.core.hungarian import solve_assignment
+from repro.core.latency import Mesh
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import UniformRandomTraffic
+
+
+def test_hungarian_64(benchmark):
+    """The inner kernel of Global and SAM at the paper's N=64."""
+    rng = np.random.default_rng(0)
+    cost = rng.random((64, 64))
+    result = benchmark(solve_assignment, cost)
+    assert result.n_rows == 64
+
+
+def test_hungarian_256(benchmark):
+    """A 16x16-mesh-sized assignment (the O(N^3) stress point)."""
+    rng = np.random.default_rng(1)
+    cost = rng.random((256, 256))
+    result = benchmark(solve_assignment, cost)
+    assert result.n_rows == 256
+
+
+def test_noc_simulator_throughput(benchmark):
+    """Cycles simulated per benchmark round on an 8x8 mesh at modest load."""
+
+    def run():
+        sim = NoCSimulator(
+            Mesh.square(8),
+            UniformRandomTraffic(n_tiles=64, injection_rate=0.01, seed=0),
+        )
+        return sim.run(warmup=200, measure=2_000)
+
+    res = run_once(benchmark, run)
+    assert res.stats.n_packets > 0
+    assert res.delivery_ratio == 1.0
+
+
+def test_memory_hierarchy_throughput(benchmark):
+    """Accesses through L1/L2/MOESI per benchmark round."""
+
+    def run():
+        hierarchy = CMPMemoryHierarchy()
+        traces = [
+            generate_trace(
+                i, PERSONALITIES["canneal"], 2_000, seed=i,
+                base_block=100_000_000 + i * ((1 << 20) + 5323),
+            )
+            for i in range(8)
+        ]
+        return hierarchy.run_traces(traces)
+
+    result = run_once(benchmark, run)
+    assert result.cache_requests.sum() > 0

@@ -1,0 +1,16 @@
+"""Table 1: random-average vs Global metrics on C1-C4 (paper Section II.D)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, report_printer):
+    report = run_once(benchmark, table1)
+    report_printer(report)
+    avg = report.data["avg"]
+    # Paper shape: Global lowers g-APL ~5% but raises max-APL and
+    # multiplies dev-APL ~3-4x.
+    assert avg["g_global"] < avg["g_random"]
+    assert avg["max_global"] > avg["max_random"]
+    assert avg["dev_global"] > 2.0 * avg["dev_random"]

@@ -1,0 +1,14 @@
+"""Table 2: the simulation-parameter table of the canonical chip."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, report_printer):
+    report = run_once(benchmark, table2)
+    report_printer(report)
+    rows = dict(report.data["rows"])
+    assert rows["Network topology"] == "8x8 mesh"
+    assert rows["Cache block size"] == "64 Bytes"
+    assert rows["Memory latency"] == "128 cycles"

@@ -1,0 +1,17 @@
+"""Table 3: measured vs paper communication-rate statistics for C1-C8."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, report_printer):
+    report = run_once(benchmark, table3)
+    report_printer(report)
+    for name in ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8"):
+        row = report.data[name]
+        assert row["cache_mean"] == pytest.approx(row["paper_cache_mean"], rel=1e-6)
+        assert row["cache_std"] == pytest.approx(row["paper_cache_std"], rel=1e-6)
+        assert row["mem_mean"] == pytest.approx(row["paper_mem_mean"], rel=1e-6)
+        assert row["mem_std"] == pytest.approx(row["paper_mem_std"], rel=1e-6)

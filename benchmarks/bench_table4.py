@@ -1,0 +1,18 @@
+"""Table 4: dev-APL of Global / MC / SA / SSS across C1-C8."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark, report_printer):
+    report = run_once(benchmark, table4)
+    report_printer(report)
+    reductions = report.data["reductions"]
+    # Paper: SSS cuts dev-APL 99.65% vs Global; MC/SA sit in between.
+    assert reductions["Global"] > 0.90
+    for name in ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8"):
+        row = report.data[name]
+        assert row["SSS"] < row["Global"]
+        assert row["MC"] < row["Global"]
+        assert row["SA"] < row["Global"]

@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures at
+paper-scale search budgets, asserts the expected qualitative shape, and
+reports wall-clock through pytest-benchmark.  Heavy experiment harnesses
+are benchmarked with a single round (they are minutes-scale aggregates,
+not microbenchmarks).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the reproduced tables printed inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one timed invocation and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report_printer(request):
+    """Print an ExperimentReport under ``-s``; always attach it to the item."""
+
+    def _print(report):
+        print()
+        print(report)
+        return report
+
+    return _print

@@ -1,0 +1,95 @@
+"""Design-space exploration: mesh sizes and memory-controller placements.
+
+Uses the library beyond the paper's single 8x8/corner configuration:
+sweeps mesh sizes (thread counts scale with the chip) and compares
+controller placements (corners vs edge midpoints vs centre cluster) under
+the same balanced-mapping machinery.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro import Mesh, MeshLatencyModel, OBMInstance, global_mapping, sort_select_swap
+from repro.core.workload import Application, Workload
+from repro.utils.rng import as_rng
+from repro.utils.text import format_table
+
+
+def make_workload(n_tiles: int, seed=0) -> Workload:
+    rng = as_rng(seed)
+    per_app = n_tiles // 4
+    apps = tuple(
+        Application(
+            f"app{i + 1}",
+            rng.lognormal(i * 0.5, 0.4, per_app),  # increasing intensity
+            rng.lognormal(i * 0.5 - 2.2, 0.4, per_app),
+        )
+        for i in range(4)
+    )
+    return Workload(apps)
+
+
+def mc_placements(mesh: Mesh) -> dict[str, tuple[int, ...]]:
+    r, c = mesh.rows, mesh.cols
+    return {
+        "corners": (mesh.tile(0, 0), mesh.tile(0, c - 1),
+                    mesh.tile(r - 1, 0), mesh.tile(r - 1, c - 1)),
+        "edge midpoints": (mesh.tile(0, c // 2), mesh.tile(r - 1, c // 2),
+                           mesh.tile(r // 2, 0), mesh.tile(r // 2, c - 1)),
+        "centre cluster": (mesh.tile(r // 2 - 1, c // 2 - 1), mesh.tile(r // 2 - 1, c // 2),
+                           mesh.tile(r // 2, c // 2 - 1), mesh.tile(r // 2, c // 2)),
+    }
+
+
+def main() -> None:
+    # Sweep 1: mesh size at corner placement.
+    rows = []
+    for n in (4, 6, 8, 10, 12):
+        mesh = Mesh.square(n)
+        model = MeshLatencyModel(mesh)
+        instance = OBMInstance(model, make_workload(mesh.n_tiles, seed=n))
+        glob = global_mapping(instance)
+        sss = sort_select_swap(instance)
+        rows.append(
+            [f"{n}x{n}", glob.max_apl, sss.max_apl,
+             (glob.max_apl - sss.max_apl) / glob.max_apl * 100,
+             sss.runtime_seconds * 1e3]
+        )
+    print(
+        format_table(
+            ["mesh", "Global max-APL", "SSS max-APL", "improvement %", "SSS ms"],
+            rows,
+            title="sweep 1: mesh size (corner controllers)",
+            float_fmt="{:.2f}",
+        )
+    )
+    print()
+
+    # Sweep 2: controller placement on the 8x8 mesh.
+    mesh = Mesh.square(8)
+    workload = make_workload(64, seed=1)
+    rows = []
+    for label, mcs in mc_placements(mesh).items():
+        model = MeshLatencyModel(mesh, mc_tiles=mcs)
+        instance = OBMInstance(model, workload)
+        sss = sort_select_swap(instance)
+        mean_hm = float(np.mean(model.mem_hops))
+        rows.append([label, mean_hm, sss.max_apl, sss.dev_apl, sss.g_apl])
+    print(
+        format_table(
+            ["controller placement", "mean HM hops", "SSS max-APL", "dev-APL", "g-APL"],
+            rows,
+            title="sweep 2: memory-controller placement (8x8)",
+            float_fmt="{:.3f}",
+        )
+    )
+    print(
+        "\ncentre-clustered controllers shorten memory paths on average but"
+        "\ncompete with the cache-optimal centre tiles; the balanced mapper"
+        "\nquantifies that trade-off per placement."
+    )
+
+
+if __name__ == "__main__":
+    main()

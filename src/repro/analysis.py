@@ -1,0 +1,149 @@
+"""Quantitative diagnostics of mapping layouts.
+
+The paper reads its layout figures qualitatively ("Application 1 is no
+longer placed in the four corners").  This module turns those readings
+into numbers so layouts can be compared programmatically:
+
+* per-application *tile-quality* statistics — the mean/extremes of
+  ``TC``/``TM`` over the tiles an application received;
+* *corner share* — which applications hold the premium/penalty corner and
+  centre tiles;
+* *spatial dispersion* — mean pairwise hop distance between an
+  application's tiles (Global tends to produce contiguous blobs, SSS
+  interleaves);
+* a side-by-side comparison table renderer for N algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.results import MappingResult
+from repro.utils.text import format_table
+
+__all__ = [
+    "AppPlacementStats",
+    "placement_stats",
+    "corner_occupants",
+    "dispersion_by_app",
+    "compare_results",
+]
+
+
+@dataclass(frozen=True)
+class AppPlacementStats:
+    """Where one application landed, in latency-quality terms."""
+
+    app_index: int
+    name: str
+    n_tiles: int
+    mean_tc: float
+    min_tc: float
+    max_tc: float
+    mean_tm: float
+    dispersion: float  #: mean pairwise hop distance between its tiles
+
+
+def _tiles_by_app(instance: OBMInstance, mapping: Mapping) -> list[np.ndarray]:
+    wl = instance.workload
+    return [mapping.perm[wl.thread_slice(i)] for i in range(wl.n_apps)]
+
+
+def placement_stats(
+    instance: OBMInstance, mapping: Mapping
+) -> list[AppPlacementStats]:
+    """Per-application placement diagnostics (idle padding apps skipped)."""
+    wl = instance.workload
+    hops = instance.mesh.hop_matrix
+    out = []
+    for i, tiles in enumerate(_tiles_by_app(instance, mapping)):
+        if wl.app_volumes[i] <= 0:
+            continue
+        tc = instance.tc[tiles]
+        tm = instance.tm[tiles]
+        if tiles.size > 1:
+            pair = hops[np.ix_(tiles, tiles)]
+            dispersion = float(pair.sum() / (tiles.size * (tiles.size - 1)))
+        else:
+            dispersion = 0.0
+        out.append(
+            AppPlacementStats(
+                app_index=i,
+                name=wl.applications[i].name,
+                n_tiles=int(tiles.size),
+                mean_tc=float(tc.mean()),
+                min_tc=float(tc.min()),
+                max_tc=float(tc.max()),
+                mean_tm=float(tm.mean()),
+                dispersion=dispersion,
+            )
+        )
+    return out
+
+
+def corner_occupants(instance: OBMInstance, mapping: Mapping) -> list[int]:
+    """Application index occupying each mesh corner (reading order)."""
+    mesh = instance.mesh
+    corners = [
+        mesh.tile(0, 0),
+        mesh.tile(0, mesh.cols - 1),
+        mesh.tile(mesh.rows - 1, 0),
+        mesh.tile(mesh.rows - 1, mesh.cols - 1),
+    ]
+    app_of_thread = instance.workload.app_of_thread
+    return [int(app_of_thread[mapping.thread_on_tile(c)]) for c in corners]
+
+
+def dispersion_by_app(instance: OBMInstance, mapping: Mapping) -> np.ndarray:
+    """Mean intra-application pairwise hop distance, per application."""
+    stats = placement_stats(instance, mapping)
+    out = np.full(instance.workload.n_apps, np.nan)
+    for s in stats:
+        out[s.app_index] = s.dispersion
+    return out
+
+
+def compare_results(
+    instance: OBMInstance, results: dict[str, MappingResult]
+) -> str:
+    """Side-by-side text comparison of several algorithms' mappings."""
+    header = ["metric", *results.keys()]
+    rows = [
+        ["max-APL", *(r.max_apl for r in results.values())],
+        ["dev-APL", *(r.dev_apl for r in results.values())],
+        ["g-APL", *(r.g_apl for r in results.values())],
+        ["min/max", *(r.evaluation.min_max_ratio for r in results.values())],
+        ["runtime ms", *(r.runtime_seconds * 1e3 for r in results.values())],
+    ]
+    lines = [format_table(header, rows, float_fmt="{:.4f}")]
+    wl = instance.workload
+    for i in range(wl.n_apps):
+        if wl.app_volumes[i] <= 0:
+            continue
+        lines.append(
+            format_table(
+                [f"app {i + 1}: {wl.applications[i].name}", *results.keys()],
+                [
+                    ["APL", *(r.evaluation.apls[i] for r in results.values())],
+                    [
+                        "mean TC of tiles",
+                        *(
+                            float(np.mean(instance.tc[r.mapping.perm[wl.thread_slice(i)]]))
+                            for r in results.values()
+                        ),
+                    ],
+                    [
+                        "dispersion (hops)",
+                        *(
+                            dispersion_by_app(instance, r.mapping)[i]
+                            for r in results.values()
+                        ),
+                    ],
+                ],
+                float_fmt="{:.3f}",
+            )
+        )
+    return "\n\n".join(lines)

@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``map``
+    Solve an OBM instance (a named paper configuration or a workload JSON
+    file) with a chosen algorithm; print metrics and the tile layout, and
+    optionally write the mapping/result as JSON.
+``evaluate``
+    Evaluate a stored mapping JSON against a workload.
+``bound``
+    Print the certified lower bound and the gap of each algorithm.
+``experiments``
+    Alias of ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.baselines import (
+    global_mapping,
+    monte_carlo,
+    random_mapping,
+    simulated_annealing,
+)
+from repro.core.bounds import max_apl_lower_bound
+from repro.core.genetic import genetic_algorithm
+from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.io import (
+    load_json,
+    mapping_from_dict,
+    result_to_dict,
+    save_json,
+    workload_from_dict,
+)
+from repro.utils.text import format_table, grid_to_text
+from repro.workloads.parsec import CONFIG_NAMES, parsec_config
+
+ALGORITHMS = {
+    "sss": sort_select_swap,
+    "global": global_mapping,
+    "mc": lambda inst: monte_carlo(inst, n_samples=10_000, seed=0),
+    "sa": lambda inst: simulated_annealing(inst, n_iters=3_000, seed=0),
+    "ga": lambda inst: genetic_algorithm(inst, seed=0),
+    "random": lambda inst: random_mapping(inst, seed=0),
+}
+
+
+def _build_instance(args) -> OBMInstance:
+    model = MeshLatencyModel(Mesh.square(args.mesh), LatencyParams())
+    if args.workload in CONFIG_NAMES or args.workload.upper() in CONFIG_NAMES:
+        workload = parsec_config(
+            args.workload, threads_per_app=model.n_tiles // 4
+        )
+    else:
+        workload = workload_from_dict(load_json(args.workload))
+    return OBMInstance(model, workload)
+
+
+def _cmd_map(args) -> int:
+    instance = _build_instance(args)
+    algorithm = ALGORITHMS[args.algorithm]
+    result = algorithm(instance)
+    print(result)
+    print()
+    print(grid_to_text(result.mapping.app_grid(instance.workload, instance.mesh)))
+    if args.output:
+        save_json(result_to_dict(result), args.output)
+        print(f"\nresult written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    instance = _build_instance(args)
+    mapping = mapping_from_dict(load_json(args.mapping))
+    ev = instance.evaluate(mapping)
+    print(ev)
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    instance = _build_instance(args)
+    lb = max_apl_lower_bound(instance)
+    print(
+        f"max-APL lower bound: {lb.value:.4f} "
+        f"(mean bound {lb.mean_bound:.4f}, per-app bound {lb.per_app_bound:.4f})"
+    )
+    rows = []
+    for name in args.algorithms:
+        result = ALGORITHMS[name](instance)
+        rows.append([name, result.max_apl, lb.gap(result.max_apl) * 100])
+    print()
+    print(format_table(["algorithm", "max-APL", "gap %"], rows, float_fmt="{:.3f}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--mesh", type=int, default=8, help="mesh side length (default 8)")
+        p.add_argument(
+            "--workload", default="C1",
+            help="paper configuration name (C1..C8) or a workload JSON path",
+        )
+
+    p_map = sub.add_parser("map", help="solve an OBM instance")
+    add_common(p_map)
+    p_map.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="sss")
+    p_map.add_argument("--output", help="write the result JSON here")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a stored mapping")
+    add_common(p_eval)
+    p_eval.add_argument("mapping", help="mapping JSON path")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_bound = sub.add_parser("bound", help="lower bound + per-algorithm gaps")
+    add_common(p_bound)
+    p_bound.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        default=["global", "sss"],
+    )
+    p_bound.set_defaults(func=_cmd_bound)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

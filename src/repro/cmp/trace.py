@@ -1,0 +1,233 @@
+"""Synthetic per-thread memory-access trace generation.
+
+Stand-in for the paper's PARSEC traces at the *address-stream* level (the
+rate-level substitute lives in :mod:`repro.workloads`).  Each thread's
+stream mixes four canonical access behaviours whose proportions define a
+"benchmark personality":
+
+* **sequential** — strided sweeps that wrap within the footprint (L1
+  misses that hit L2 once warm, e.g. `streamcluster`),
+* **hot-set** — Zipf-weighted reuse of a working set sized against the L1
+  (high L1 hit rate, e.g. `swaptions`),
+* **random** — pointer-chasing over the footprint (L1-hostile,
+  L2-friendly once warm, e.g. `canneal`),
+* **stream** — a monotone walk over always-fresh blocks (compulsory
+  misses to memory; the knob for memory-controller traffic).
+
+Running these streams through :class:`repro.cmp.hierarchy.CMPMemoryHierarchy`
+yields per-thread cache/memory request rates from first principles,
+exercising the same pipeline the paper's full-system setup did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["TracePersonality", "AccessTrace", "generate_trace", "PERSONALITIES"]
+
+
+@dataclass(frozen=True)
+class TracePersonality:
+    """Mixing weights and footprint sizes of one synthetic benchmark.
+
+    The four access modes map directly onto hierarchy outcomes:
+
+    * *hot* (Zipf reuse over ``hot_blocks``) — L1 hits when the hot set
+      fits L1, L1-miss/L2-hit churn (cache traffic) when it overflows;
+    * *seq* (wrapping strided sweeps over the footprint) — L2-resident
+      after the first pass, cache traffic;
+    * *random* (uniform over the footprint) — cache traffic once warm;
+    * *stream* (monotone walk over fresh blocks, never reused) — compulsory
+      misses all the way to memory; its weight is the thread's knob for
+      memory-controller traffic.
+    """
+
+    name: str
+    seq_weight: float = 0.3
+    hot_weight: float = 0.5
+    random_weight: float = 0.2
+    stream_weight: float = 0.0
+    footprint_blocks: int = 1 << 16  #: total blocks the thread may touch
+    hot_blocks: int = 256  #: size of the Zipf-reused hot set
+    zipf_s: float = 1.2  #: Zipf exponent of hot-set popularity
+    write_fraction: float = 0.3
+    run_length: int = 16  #: blocks per sequential burst
+
+    def __post_init__(self) -> None:
+        total = self.seq_weight + self.hot_weight + self.random_weight + self.stream_weight
+        if total <= 0:
+            raise ValueError("personality weights must sum to a positive value")
+        if not 0 <= self.write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.hot_blocks > self.footprint_blocks:
+            raise ValueError("hot set cannot exceed the footprint")
+        if self.run_length < 1:
+            raise ValueError("run_length must be positive")
+
+
+#: Representative personalities, named after the PARSEC suite.  Hot sets
+#: are sized against the Table 2 hierarchy: the 32 KB / 64 B L1 holds 512
+#: blocks, so a hot set under ~400 blocks mostly L1-hits while one of
+#: 1-2 K blocks thrashes L1 but lives comfortably in the 16 MB shared L2
+#: (262144 blocks) — the recipe for heavy *cache* (on-chip) traffic.
+#: Large streaming/random footprints generate L2 misses, i.e. *memory*
+#: traffic.  The mix targets the paper's ~6.8:1 cache:memory ratio.
+PERSONALITIES: dict[str, TracePersonality] = {
+    "blackscholes": TracePersonality(
+        "blackscholes", seq_weight=0.02, hot_weight=0.945, random_weight=0.015,
+        stream_weight=0.02, footprint_blocks=1 << 11, hot_blocks=640,
+    ),
+    "swaptions": TracePersonality(
+        "swaptions", seq_weight=0.01, hot_weight=0.96, random_weight=0.015,
+        stream_weight=0.015, footprint_blocks=1 << 11, hot_blocks=576,
+    ),
+    "streamcluster": TracePersonality(
+        "streamcluster", seq_weight=0.3, hot_weight=0.58, random_weight=0.03,
+        stream_weight=0.09, footprint_blocks=1 << 12, hot_blocks=768, run_length=64,
+    ),
+    "canneal": TracePersonality(
+        "canneal", seq_weight=0.03, hot_weight=0.69, random_weight=0.21,
+        stream_weight=0.07, footprint_blocks=1 << 12, hot_blocks=1536, zipf_s=1.05,
+    ),
+    "fluidanimate": TracePersonality(
+        "fluidanimate", seq_weight=0.12, hot_weight=0.82, random_weight=0.03,
+        stream_weight=0.03, footprint_blocks=1 << 12, hot_blocks=896,
+    ),
+    "x264": TracePersonality(
+        "x264", seq_weight=0.2, hot_weight=0.735, random_weight=0.025,
+        stream_weight=0.04, footprint_blocks=1 << 12, hot_blocks=700, run_length=32,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """One thread's access stream: block addresses plus write flags.
+
+    The first ``warmup_len`` accesses are a deterministic sweep over the
+    thread's footprint; they warm the caches and must be excluded from
+    rate measurement (compulsory misses are a start-up transient, not
+    steady-state memory traffic).
+    """
+
+    thread: int
+    block_addrs: np.ndarray
+    is_write: np.ndarray
+    warmup_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_addrs.shape != self.is_write.shape:
+            raise ValueError("addresses and write flags must align")
+        if self.block_addrs.ndim != 1:
+            raise ValueError("trace must be 1-D")
+        if not 0 <= self.warmup_len <= self.block_addrs.size:
+            raise ValueError("warmup_len must lie within the trace")
+
+    @property
+    def length(self) -> int:
+        return self.block_addrs.size
+
+    @property
+    def measured_length(self) -> int:
+        return self.length - self.warmup_len
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks**-s
+    return w / w.sum()
+
+
+def generate_trace(
+    thread: int,
+    personality: TracePersonality,
+    n_accesses: int,
+    seed=None,
+    base_block: int | None = None,
+    shared_blocks: np.ndarray | None = None,
+    shared_fraction: float = 0.0,
+    warmup_sweep: bool = True,
+) -> AccessTrace:
+    """Generate one thread's synthetic access trace.
+
+    ``base_block`` offsets the thread's private footprint so threads do not
+    collide unless ``shared_blocks`` (a pool of blocks common to the
+    application, touched with probability ``shared_fraction``) says so —
+    shared blocks are what make the coherence protocol do real work.
+
+    With ``warmup_sweep`` the trace is prefixed by one read pass over the
+    full footprint (marked via ``warmup_len``) so measurement starts from a
+    warm hierarchy; the returned trace then has
+    ``length == footprint_blocks + n_accesses``.
+    """
+    if n_accesses < 1:
+        raise ValueError("n_accesses must be positive")
+    if not 0 <= shared_fraction <= 1:
+        raise ValueError("shared_fraction must be in [0, 1]")
+    rng = as_rng(seed)
+    p = personality
+    if base_block is None:
+        base_block = thread * p.footprint_blocks
+
+    weights = np.array(
+        [p.seq_weight, p.hot_weight, p.random_weight, p.stream_weight], dtype=float
+    )
+    # Weights are per-*access* shares, but one sequential draw emits a whole
+    # run of run_length accesses — deflate its draw probability accordingly
+    # so the emitted access mix matches the personality weights.
+    weights[0] /= p.run_length
+    weights /= weights.sum()
+    hot_set = base_block + rng.choice(p.footprint_blocks, size=p.hot_blocks, replace=False)
+    zipf = _zipf_weights(p.hot_blocks, p.zipf_s)
+
+    # Streaming blocks live in a disjoint region far above any footprint so
+    # they are compulsory misses by construction.
+    stream_base = (1 << 40) + thread * (1 << 30)
+
+    addrs = np.empty(n_accesses, dtype=np.int64)
+    i = 0
+    seq_cursor = base_block
+    stream_cursor = stream_base
+    while i < n_accesses:
+        mode = rng.choice(4, p=weights)
+        if mode == 0:  # sequential run, wraps within the footprint
+            run = min(p.run_length, n_accesses - i)
+            offsets = (seq_cursor - base_block + np.arange(run)) % p.footprint_blocks
+            addrs[i : i + run] = base_block + offsets
+            seq_cursor = base_block + (seq_cursor - base_block + run) % p.footprint_blocks
+            i += run
+        elif mode == 1:  # hot-set reuse
+            addrs[i] = hot_set[rng.choice(p.hot_blocks, p=zipf)]
+            i += 1
+        elif mode == 2:  # random over footprint
+            addrs[i] = base_block + rng.integers(p.footprint_blocks)
+            i += 1
+        else:  # streaming: every block fresh -> compulsory memory miss
+            addrs[i] = stream_cursor
+            stream_cursor += 1
+            i += 1
+
+    if shared_blocks is not None and shared_fraction > 0 and shared_blocks.size:
+        mask = rng.random(n_accesses) < shared_fraction
+        addrs[mask] = rng.choice(shared_blocks, size=int(mask.sum()))
+
+    is_write = rng.random(n_accesses) < p.write_fraction
+
+    warmup_len = 0
+    if warmup_sweep:
+        sweep = base_block + np.arange(p.footprint_blocks, dtype=np.int64)
+        if shared_blocks is not None and shared_blocks.size:
+            sweep = np.concatenate([sweep, np.asarray(shared_blocks, dtype=np.int64)])
+        addrs = np.concatenate([sweep, addrs])
+        is_write = np.concatenate([np.zeros(sweep.size, dtype=bool), is_write])
+        warmup_len = sweep.size
+
+    addrs.setflags(write=False)
+    is_write.setflags(write=False)
+    return AccessTrace(
+        thread=thread, block_addrs=addrs, is_write=is_write, warmup_len=warmup_len
+    )

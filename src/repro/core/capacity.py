@@ -1,0 +1,136 @@
+"""Capacity OBM: more threads than tiles (paper footnote 1's "more
+generalization ... for multiple threads to map to one tile").
+
+With SMT-style cores, up to ``capacity`` threads share each tile.  A
+thread's network behaviour still depends only on *which tile* it sits on
+(the interleaved L2 and proximity rules are per-tile), so the problem
+reduces to the unweighted OBM over *slots*: replicate each tile
+``capacity`` times, solve the ordinary problem on the slot chip, and fold
+slots back to tiles.  Every algorithm in the library (Global, MC, SA,
+SSS, branch-and-bound) therefore works unchanged on capacity instances.
+
+The reduction deliberately ignores intra-tile contention (two threads on
+one tile sharing an injection port); that is a bandwidth effect, visible
+in the cycle-level simulator but outside the paper's latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import MeshLatencyModel
+from repro.core.metrics import MappingEvaluation
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.results import MappingResult
+from repro.core.workload import Workload
+
+__all__ = ["CapacityMapping", "slot_instance", "solve_capacity_obm"]
+
+
+@dataclass(frozen=True)
+class CapacityMapping:
+    """Thread-to-tile map where tiles may host up to ``capacity`` threads."""
+
+    tile_of_thread: np.ndarray
+    capacity: int
+    n_tiles: int
+
+    def __post_init__(self) -> None:
+        tiles = np.asarray(self.tile_of_thread, dtype=np.int64).copy()
+        if tiles.ndim != 1 or tiles.size == 0:
+            raise ValueError("tile_of_thread must be a non-empty vector")
+        if tiles.min() < 0 or tiles.max() >= self.n_tiles:
+            raise ValueError("tile ids out of range")
+        counts = np.bincount(tiles, minlength=self.n_tiles)
+        if counts.max() > self.capacity:
+            raise ValueError(
+                f"tile {int(counts.argmax())} hosts {int(counts.max())} threads "
+                f"but capacity is {self.capacity}"
+            )
+        tiles.setflags(write=False)
+        object.__setattr__(self, "tile_of_thread", tiles)
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Threads per tile."""
+        return np.bincount(self.tile_of_thread, minlength=self.n_tiles)
+
+
+class _SlotLatencyModel(MeshLatencyModel):
+    """A latency model over tile *slots*: each tile repeated ``capacity``
+    times, with TC/TM inherited from the underlying tile."""
+
+    def __init__(self, base: MeshLatencyModel, capacity: int) -> None:
+        from repro.core.latency import Mesh
+
+        self.base = base
+        self.capacity = capacity
+        n_slots = base.n_tiles * capacity
+        super().__init__(Mesh(1, n_slots), base.params, mc_tiles=(0,))
+        slot_tile = np.repeat(np.arange(base.n_tiles), capacity)
+        tc = base.tc[slot_tile].copy()
+        tm = base.tm[slot_tile].copy()
+        tc.setflags(write=False)
+        tm.setflags(write=False)
+        slot_tile.setflags(write=False)
+        self.slot_tile = slot_tile
+        self.__dict__["tc"] = tc
+        self.__dict__["tm"] = tm
+
+
+def slot_instance(
+    model: MeshLatencyModel, workload: Workload, capacity: int
+) -> tuple[OBMInstance, _SlotLatencyModel]:
+    """Build the slot-expanded OBM instance for a capacity problem."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    if workload.n_threads > model.n_tiles * capacity:
+        raise ValueError(
+            f"{workload.n_threads} threads exceed {model.n_tiles} tiles x "
+            f"capacity {capacity}"
+        )
+    slot_model = _SlotLatencyModel(model, capacity)
+    return OBMInstance(slot_model, workload), slot_model
+
+
+def solve_capacity_obm(
+    model: MeshLatencyModel,
+    workload: Workload,
+    capacity: int,
+    algorithm=None,
+    **algorithm_kwargs,
+) -> tuple[MappingResult, CapacityMapping]:
+    """Solve a capacity OBM problem with any unweighted mapping algorithm.
+
+    Returns the slot-level :class:`MappingResult` (metrics are computed on
+    the slot instance and are exactly the tile-level metrics, since slots
+    inherit their tile's latencies) plus the folded
+    :class:`CapacityMapping`.
+    """
+    from repro.core.sss import sort_select_swap
+
+    algorithm = algorithm or sort_select_swap
+    instance, slot_model = slot_instance(model, workload, capacity)
+    result = algorithm(instance, **algorithm_kwargs)
+
+    n_real = workload.n_threads
+    slot_of_thread = result.mapping.perm[:n_real]
+    capacity_mapping = CapacityMapping(
+        tile_of_thread=slot_model.slot_tile[slot_of_thread],
+        capacity=capacity,
+        n_tiles=model.n_tiles,
+    )
+    return result, capacity_mapping
+
+
+def evaluate_capacity_mapping(
+    model: MeshLatencyModel, workload: Workload, mapping: CapacityMapping
+) -> MappingEvaluation:
+    """Tile-level metrics of a capacity mapping (eq. 5 with repeats)."""
+    from repro.core.metrics import evaluate_mapping
+
+    return evaluate_mapping(
+        workload, mapping.tile_of_thread, model.tc, model.tm
+    )

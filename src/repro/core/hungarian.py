@@ -1,0 +1,125 @@
+"""From-scratch Hungarian method for the linear assignment problem.
+
+The paper's Algorithm 1 solves single-application mapping exactly with the
+Hungarian method [Kuhn 1955] in O(n^3).  We implement the modern
+shortest-augmenting-path formulation (Jonker--Volkgenant style, the same
+scheme used by ``scipy.optimize.linear_sum_assignment``): one Dijkstra-like
+search per row, maintaining dual potentials ``u``/``v`` so that reduced
+costs stay non-negative.  Rectangular matrices (fewer rows than columns —
+"choose which tiles to use" variants) are supported directly.
+
+The implementation is validated against SciPy on thousands of random
+instances in the test suite, including degenerate (tied) costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AssignmentResult", "solve_assignment"]
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """An optimal assignment: ``col_of_row[i]`` is the column given to row i."""
+
+    col_of_row: np.ndarray
+    total_cost: float
+
+    @property
+    def n_rows(self) -> int:
+        return self.col_of_row.size
+
+    def as_pairs(self) -> list[tuple[int, int]]:
+        """``(row, column)`` pairs of the assignment."""
+        return [(i, int(j)) for i, j in enumerate(self.col_of_row)]
+
+
+def solve_assignment(cost: np.ndarray) -> AssignmentResult:
+    """Minimise ``sum(cost[i, col_of_row[i]])`` over injective row->col maps.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` matrix with ``n <= m``; entries must be finite.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is empty, non-finite, or has more rows than columns.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be a 2-D matrix, got shape {cost.shape}")
+    n, m = cost.shape
+    if n == 0 or m == 0:
+        raise ValueError("cost matrix must be non-empty")
+    if n > m:
+        raise ValueError(
+            f"cost matrix has more rows ({n}) than columns ({m}); "
+            "transpose it or pad with dummy columns"
+        )
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix must be finite")
+
+    col_of_row = np.full(n, -1, dtype=np.int64)
+    row_of_col = np.full(m, -1, dtype=np.int64)
+    u = np.zeros(n)  # row potentials
+    v = np.zeros(m)  # column potentials
+    # `parent[j]` is the row from which column j was reached in the current
+    # shortest-path tree; used to trace the augmenting path back.
+    parent = np.full(m, -1, dtype=np.int64)
+
+    for cur_row in range(n):
+        # Dijkstra over columns: find the cheapest augmenting path from
+        # cur_row to an unassigned column under reduced costs.
+        shortest = np.full(m, np.inf)
+        in_row_tree = np.zeros(n, dtype=bool)
+        in_col_tree = np.zeros(m, dtype=bool)
+        remaining = np.arange(m)
+        min_val = 0.0
+        i = cur_row
+        sink = -1
+        while sink == -1:
+            in_row_tree[i] = True
+            reduced = min_val + cost[i, remaining] - u[i] - v[remaining]
+            better = reduced < shortest[remaining]
+            improved = remaining[better]
+            shortest[improved] = reduced[better]
+            parent[improved] = i
+            pos = int(np.argmin(shortest[remaining]))
+            j = int(remaining[pos])
+            min_val = shortest[j]
+            if not np.isfinite(min_val):  # pragma: no cover - finite input
+                raise ValueError("assignment problem is infeasible")
+            in_col_tree[j] = True
+            remaining = np.delete(remaining, pos)
+            if row_of_col[j] == -1:
+                sink = j
+            else:
+                i = int(row_of_col[j])
+
+        # Update dual potentials so all reduced costs stay non-negative.
+        u[cur_row] += min_val
+        others = in_row_tree.copy()
+        others[cur_row] = False
+        if others.any():
+            rows = np.flatnonzero(others)
+            u[rows] += min_val - shortest[col_of_row[rows]]
+        cols = np.flatnonzero(in_col_tree)
+        v[cols] -= min_val - shortest[cols]
+
+        # Augment: flip matched/unmatched edges along the path to the sink.
+        j = sink
+        while True:
+            i = int(parent[j])
+            row_of_col[j] = i
+            col_of_row[i], j = j, col_of_row[i]
+            if i == cur_row:
+                break
+
+    total = float(cost[np.arange(n), col_of_row].sum())
+    col_of_row.setflags(write=False)
+    return AssignmentResult(col_of_row=col_of_row, total_cost=total)

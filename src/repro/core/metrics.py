@@ -1,0 +1,142 @@
+"""Latency-balance metrics over a mapping (paper Sections II.D and III.A).
+
+Given per-tile latency arrays ``TC``/``TM`` and a thread-to-tile mapping,
+these functions compute:
+
+* per-application average packet latency (**APL**, eq. 5),
+* the maximum APL across applications (**max-APL**, eq. 6/7 — the paper's
+  objective),
+* the standard deviation of APLs (**dev-APL** — the paper's balance
+  indicator),
+* the global APL over all packets (**g-APL** — the overall-performance
+  indicator), and
+* the min-to-max APL ratio (the fairness metric of [25] discussed and
+  rejected as an objective in Section III.A).
+
+Applications with zero traffic (padding pseudo-apps) are excluded from the
+across-application statistics since their APL is the indeterminate 0/0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.workload import Workload
+
+__all__ = [
+    "app_latency_sums",
+    "app_apls",
+    "max_apl",
+    "dev_apl",
+    "g_apl",
+    "min_max_ratio",
+    "MappingEvaluation",
+    "evaluate_mapping",
+]
+
+
+def _per_thread_latency(
+    workload: Workload, mapping: np.ndarray, tc: np.ndarray, tm: np.ndarray
+) -> np.ndarray:
+    """Total latency generated per thread: ``c_j*TC(pi(j)) + m_j*TM(pi(j))``."""
+    tiles = np.asarray(mapping, dtype=np.int64)
+    return workload.cache_rates * tc[tiles] + workload.mem_rates * tm[tiles]
+
+
+def app_latency_sums(
+    workload: Workload, mapping: np.ndarray, tc: np.ndarray, tm: np.ndarray
+) -> np.ndarray:
+    """Per-application total packet latency (the numerator of eq. 5)."""
+    per_thread = _per_thread_latency(workload, mapping, tc, tm)
+    return np.add.reduceat(per_thread, workload.boundaries[:-1])
+
+
+def app_apls(
+    workload: Workload, mapping: np.ndarray, tc: np.ndarray, tm: np.ndarray
+) -> np.ndarray:
+    """Per-application APL ``d_i`` (eq. 5); NaN for zero-traffic apps."""
+    sums = app_latency_sums(workload, mapping, tc, tm)
+    volumes = workload.app_volumes
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(volumes > 0, sums / np.where(volumes > 0, volumes, 1.0), np.nan)
+
+
+def _active(values: np.ndarray, workload: Workload) -> np.ndarray:
+    active = values[workload.active_apps]
+    if active.size == 0:
+        raise ValueError("workload has no application with traffic")
+    return active
+
+
+def max_apl(workload: Workload, mapping, tc, tm) -> float:
+    """The paper's objective: maximum APL over applications (eq. 6)."""
+    return float(_active(app_apls(workload, mapping, tc, tm), workload).max())
+
+
+def dev_apl(workload: Workload, mapping, tc, tm) -> float:
+    """Population standard deviation of per-application APLs."""
+    return float(_active(app_apls(workload, mapping, tc, tm), workload).std())
+
+
+def g_apl(workload: Workload, mapping, tc, tm) -> float:
+    """Global APL: total latency of all packets / total packet volume."""
+    total_volume = float(workload.app_volumes.sum())
+    if total_volume <= 0:
+        raise ValueError("workload has no traffic")
+    total_latency = float(app_latency_sums(workload, mapping, tc, tm).sum())
+    return total_latency / total_volume
+
+
+def min_max_ratio(workload: Workload, mapping, tc, tm) -> float:
+    """Min-to-max APL ratio in [0, 1]; 1 means perfectly equal APLs."""
+    apls = _active(app_apls(workload, mapping, tc, tm), workload)
+    hi = apls.max()
+    if hi == 0:
+        return 1.0
+    return float(apls.min() / hi)
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """All paper metrics for one mapping, computed in a single pass."""
+
+    apls: np.ndarray  #: per-application APL (NaN for idle apps)
+    max_apl: float
+    dev_apl: float
+    g_apl: float
+    min_max_ratio: float
+
+    def __str__(self) -> str:
+        apl_text = ", ".join(
+            "idle" if np.isnan(a) else f"{a:.3f}" for a in self.apls
+        )
+        return (
+            f"APLs=[{apl_text}] max={self.max_apl:.3f} "
+            f"dev={self.dev_apl:.4f} g={self.g_apl:.3f} min/max={self.min_max_ratio:.4f}"
+        )
+
+
+def evaluate_mapping(
+    workload: Workload, mapping: np.ndarray, tc: np.ndarray, tm: np.ndarray
+) -> MappingEvaluation:
+    """Compute every metric for ``mapping`` at once (shared intermediates)."""
+    sums = app_latency_sums(workload, mapping, tc, tm)
+    volumes = workload.app_volumes
+    with np.errstate(invalid="ignore", divide="ignore"):
+        apls = np.where(volumes > 0, sums / np.where(volumes > 0, volumes, 1.0), np.nan)
+    active = apls[workload.active_apps]
+    if active.size == 0:
+        raise ValueError("workload has no application with traffic")
+    total_volume = float(volumes.sum())
+    hi = float(active.max())
+    apls = apls.copy()
+    apls.setflags(write=False)
+    return MappingEvaluation(
+        apls=apls,
+        max_apl=hi,
+        dev_apl=float(active.std()),
+        g_apl=float(sums.sum()) / total_volume,
+        min_max_ratio=1.0 if hi == 0 else float(active.min()) / hi,
+    )

@@ -1,0 +1,246 @@
+"""The On-chip latency Balanced Mapping (OBM) problem (paper Section III.B).
+
+An :class:`OBMInstance` bundles everything the mapping algorithms need: the
+latency model's per-tile ``TC``/``TM`` arrays and the workload's per-thread
+``c_j``/``m_j`` rates.  A :class:`Mapping` is the decision variable — a
+permutation assigning thread ``j`` to tile ``pi(j)``.
+
+The module also carries the machinery behind the paper's NP-completeness
+proof: :func:`obm_from_set_partition` builds the DOBM instance used in the
+reduction from set-partition, and :func:`set_partition_from_mapping`
+recovers the two equal-sum subsets from a feasible mapping — both are
+exercised by tests as an executable version of Section III.C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
+from repro.core.metrics import MappingEvaluation, app_apls, evaluate_mapping
+from repro.core.workload import Application, Workload
+
+__all__ = [
+    "Mapping",
+    "OBMInstance",
+    "obm_from_set_partition",
+    "set_partition_from_mapping",
+]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A thread-to-tile permutation: thread ``j`` runs on tile ``perm[j]``.
+
+    Indices are 0-based.  The permutation is validated on construction and
+    stored read-only.
+    """
+
+    perm: np.ndarray
+
+    def __post_init__(self) -> None:
+        perm = np.asarray(self.perm, dtype=np.int64).copy()
+        if perm.ndim != 1:
+            raise ValueError(f"mapping must be 1-D, got shape {perm.shape}")
+        n = perm.size
+        if n == 0:
+            raise ValueError("mapping must place at least one thread")
+        seen = np.zeros(n, dtype=bool)
+        if perm.min() < 0 or perm.max() >= n:
+            raise ValueError("mapping entries must lie in [0, n_threads)")
+        seen[perm] = True
+        if not seen.all():
+            raise ValueError("mapping is not a permutation (duplicate tiles)")
+        perm.setflags(write=False)
+        object.__setattr__(self, "perm", perm)
+
+    @property
+    def n(self) -> int:
+        return self.perm.size
+
+    @classmethod
+    def identity(cls, n: int) -> "Mapping":
+        return cls(np.arange(n, dtype=np.int64))
+
+    @cached_property
+    def inverse(self) -> np.ndarray:
+        """``inverse[k]`` is the thread running on tile ``k``."""
+        inv = np.empty(self.n, dtype=np.int64)
+        inv[self.perm] = np.arange(self.n)
+        inv.setflags(write=False)
+        return inv
+
+    def thread_on_tile(self, tile: int) -> int:
+        return int(self.inverse[tile])
+
+    def tile_of_thread(self, thread: int) -> int:
+        return int(self.perm[thread])
+
+    def with_swapped_threads(self, a: int, b: int) -> "Mapping":
+        """New mapping with threads ``a`` and ``b`` exchanging tiles."""
+        perm = self.perm.copy()
+        perm[a], perm[b] = perm[b], perm[a]
+        return Mapping(perm)
+
+    def compose_tiles(self, tile_perm: dict[int, int]) -> "Mapping":
+        """Re-route threads through a partial tile permutation.
+
+        ``tile_perm`` maps old tile -> new tile for a subset of tiles that
+        themselves form a permutation; every thread currently on an affected
+        tile moves accordingly.
+        """
+        if set(tile_perm.keys()) != set(tile_perm.values()):
+            raise ValueError("tile_perm must permute a fixed set of tiles")
+        perm = self.perm.copy()
+        for old, new in tile_perm.items():
+            perm[self.inverse[old]] = new
+        return Mapping(perm)
+
+    def app_grid(self, workload: Workload, mesh: Mesh, *, one_based: bool = True) -> np.ndarray:
+        """Per-tile application id laid out on the mesh (Figures 4 and 8)."""
+        if self.n != mesh.n_tiles:
+            raise ValueError(
+                f"mapping covers {self.n} tiles but mesh has {mesh.n_tiles}"
+            )
+        app_ids = workload.app_of_thread[self.inverse]
+        if one_based:
+            app_ids = app_ids + 1
+        return mesh.as_grid(app_ids)
+
+
+class OBMInstance:
+    """One concrete OBM problem: a chip latency model plus a workload.
+
+    The workload is padded with zero-traffic pseudo-threads to the tile
+    count on construction (footnote 1), so ``n == n_tiles == n_threads``
+    always holds for algorithm code.
+    """
+
+    def __init__(self, model: MeshLatencyModel, workload: Workload) -> None:
+        self.model = model
+        self.workload = workload.padded_to(model.n_tiles)
+        if self.workload.n_threads != model.n_tiles:
+            raise ValueError(
+                f"workload has {self.workload.n_threads} threads for "
+                f"{model.n_tiles} tiles"
+            )
+
+    # Convenience accessors ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of tiles == number of threads."""
+        return self.model.n_tiles
+
+    @property
+    def tc(self) -> np.ndarray:
+        return self.model.tc
+
+    @property
+    def tm(self) -> np.ndarray:
+        return self.model.tm
+
+    @property
+    def mesh(self) -> Mesh:
+        return self.model.mesh
+
+    @cached_property
+    def cost_matrix(self) -> np.ndarray:
+        """Eq. 13 for all threads: ``cost[j, k] = c_j*TC(k) + m_j*TM(k)``.
+
+        This is the input of the *Global* baseline (minimising its total is
+        exactly minimising total packet latency) and the restriction of its
+        rows/columns is the per-application SAM cost matrix.
+        """
+        c = self.workload.cache_rates[:, None] * self.tc[None, :]
+        m = self.workload.mem_rates[:, None] * self.tm[None, :]
+        cost = c + m
+        cost.setflags(write=False)
+        return cost
+
+    # Evaluation -----------------------------------------------------------
+
+    def evaluate(self, mapping: Mapping) -> MappingEvaluation:
+        """All paper metrics of ``mapping`` on this instance."""
+        self._check(mapping)
+        return evaluate_mapping(self.workload, mapping.perm, self.tc, self.tm)
+
+    def app_apls(self, mapping: Mapping) -> np.ndarray:
+        self._check(mapping)
+        return app_apls(self.workload, mapping.perm, self.tc, self.tm)
+
+    def decide(self, mapping: Mapping, gamma: float) -> bool:
+        """The DOBM decision predicate: is every application's APL <= gamma?
+
+        This is the polynomial-time verifier from the NP membership half of
+        the paper's proof.
+        """
+        apls = self.app_apls(mapping)
+        active = apls[self.workload.active_apps]
+        return bool(np.all(active <= gamma + 1e-12))
+
+    def _check(self, mapping: Mapping) -> None:
+        if mapping.n != self.n:
+            raise ValueError(
+                f"mapping covers {mapping.n} threads but instance has {self.n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OBMInstance({self.mesh.rows}x{self.mesh.cols}, "
+            f"{self.workload.n_apps} apps, {self.n} threads)"
+        )
+
+
+class _ExplicitLatencyModel(MeshLatencyModel):
+    """A latency model with directly supplied TC/TM arrays.
+
+    Used by the NP-completeness reduction, which needs ``TC(k)`` equal to an
+    arbitrary set of numbers rather than anything a mesh would produce.  The
+    mesh geometry is retained only for array sizing.
+    """
+
+    def __init__(self, n: int, tc: np.ndarray, tm: np.ndarray) -> None:
+        super().__init__(Mesh(1, n), LatencyParams(), mc_tiles=(0,))
+        tc = np.asarray(tc, dtype=float).copy()
+        tm = np.asarray(tm, dtype=float).copy()
+        if tc.shape != (n,) or tm.shape != (n,):
+            raise ValueError("TC/TM must be length-n vectors")
+        tc.setflags(write=False)
+        tm.setflags(write=False)
+        self.__dict__["tc"] = tc  # overrides the cached_property slot
+        self.__dict__["tm"] = tm
+
+
+def obm_from_set_partition(numbers) -> tuple[OBMInstance, float]:
+    """Build the DOBM instance of the paper's reduction (Section III.C).
+
+    Given the multiset ``S = {s_k}``, constructs an ``N``-tile chip with
+    ``TC(k) = s_k``, ``TM(k) = 0``, two applications of ``N/2`` unit-rate
+    threads each, and returns the instance together with the threshold
+    ``gamma = mean(S)``.  ``S`` has a perfect partition into two equal-size,
+    equal-sum halves iff some mapping keeps both APLs <= gamma.
+    """
+    s = np.asarray(numbers, dtype=float)
+    if s.ndim != 1 or s.size < 2 or s.size % 2 != 0:
+        raise ValueError("set-partition input must be a 1-D even-length sequence")
+    n = s.size
+    model = _ExplicitLatencyModel(n, tc=s, tm=np.zeros(n))
+    half = n // 2
+    apps = (
+        Application("a1", np.ones(half), np.zeros(half)),
+        Application("a2", np.ones(half), np.zeros(half)),
+    )
+    gamma = float(s.mean())
+    return OBMInstance(model, Workload(apps, name="set-partition")), gamma
+
+
+def set_partition_from_mapping(mapping: Mapping) -> tuple[list[int], list[int]]:
+    """Recover the two subsets (eq. 11) from a feasible reduction mapping."""
+    half = mapping.n // 2
+    a1 = [int(t) for t in mapping.perm[:half]]
+    a2 = [int(t) for t in mapping.perm[half:]]
+    return a1, a2

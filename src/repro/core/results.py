@@ -1,0 +1,58 @@
+"""Common result container returned by all mapping algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.metrics import MappingEvaluation
+from repro.core.problem import Mapping
+
+__all__ = ["MappingResult"]
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """The output of one mapping algorithm on one OBM instance.
+
+    Attributes
+    ----------
+    algorithm:
+        Short name used in tables (``"Global"``, ``"MC"``, ``"SA"``,
+        ``"SSS"``, ...).
+    mapping:
+        The produced thread-to-tile permutation.
+    evaluation:
+        All paper metrics of that mapping.
+    runtime_seconds:
+        Wall-clock time the algorithm spent, for the Figure-12 style
+        runtime/quality trade-off analysis.
+    extra:
+        Algorithm-specific diagnostics (per-stage metrics for SSS, accepted
+        move counts for SA, sample counts for MC, ...).
+    """
+
+    algorithm: str
+    mapping: Mapping
+    evaluation: MappingEvaluation
+    runtime_seconds: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def max_apl(self) -> float:
+        return self.evaluation.max_apl
+
+    @property
+    def dev_apl(self) -> float:
+        return self.evaluation.dev_apl
+
+    @property
+    def g_apl(self) -> float:
+        return self.evaluation.g_apl
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: max-APL={self.max_apl:.3f} "
+            f"dev-APL={self.dev_apl:.4f} g-APL={self.g_apl:.3f} "
+            f"({self.runtime_seconds * 1e3:.1f} ms)"
+        )

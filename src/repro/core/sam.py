@@ -1,0 +1,101 @@
+"""Single-application mapping (SAM) — the paper's Algorithm 1.
+
+Given a set of tiles reserved for one application, assigning its threads to
+those tiles so the application's APL is minimal is an instance of the
+linear assignment problem: each thread's latency contribution depends only
+on its own tile (the interleaved L2 and proximity memory rules make tiles
+independent).  The exact optimum therefore comes from the Hungarian method
+on the cost matrix of eq. 13 restricted to the reserved tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hungarian import solve_assignment
+
+__all__ = ["SAMResult", "solve_sam", "assign_app_to_tiles"]
+
+
+@dataclass(frozen=True)
+class SAMResult:
+    """Optimal assignment of one application's threads to reserved tiles."""
+
+    tile_of_thread: np.ndarray  #: tile id (global) per local thread index
+    apl: float  #: the minimised application APL
+    total_latency: float  #: numerator of eq. 5 at the optimum
+
+
+def solve_sam(
+    cache_rates: np.ndarray,
+    mem_rates: np.ndarray,
+    tiles: np.ndarray,
+    tc: np.ndarray,
+    tm: np.ndarray,
+) -> SAMResult:
+    """Optimally map one application's threads onto ``tiles``.
+
+    Parameters
+    ----------
+    cache_rates, mem_rates:
+        Per-thread ``c_j`` and ``m_j`` of the application (length ``n_a``).
+    tiles:
+        Global tile indices reserved for this application (length ``n_a``).
+    tc, tm:
+        Full per-tile latency arrays of the chip.
+
+    Returns
+    -------
+    SAMResult
+        With ``tile_of_thread[j]`` the global tile of the application's
+        ``j``-th thread and ``apl`` the (provably minimal) application APL.
+    """
+    c = np.asarray(cache_rates, dtype=float)
+    m = np.asarray(mem_rates, dtype=float)
+    tiles = np.asarray(tiles, dtype=np.int64)
+    if not (c.shape == m.shape == tiles.shape) or c.ndim != 1:
+        raise ValueError(
+            f"threads and tiles must be equal-length vectors, got "
+            f"{c.shape}, {m.shape}, {tiles.shape}"
+        )
+    if len(set(tiles.tolist())) != tiles.size:
+        raise ValueError("reserved tiles must be distinct")
+
+    # Eq. 13 restricted to the reserved tiles.
+    cost = c[:, None] * tc[tiles][None, :] + m[:, None] * tm[tiles][None, :]
+    result = solve_assignment(cost)
+
+    tile_of_thread = tiles[result.col_of_row]
+    volume = float(c.sum() + m.sum())
+    apl = result.total_cost / volume if volume > 0 else 0.0
+    tile_of_thread.setflags(write=False)
+    return SAMResult(
+        tile_of_thread=tile_of_thread,
+        apl=apl,
+        total_latency=result.total_cost,
+    )
+
+
+def assign_app_to_tiles(
+    perm: np.ndarray,
+    thread_slice: slice,
+    cache_rates: np.ndarray,
+    mem_rates: np.ndarray,
+    tiles: np.ndarray,
+    tc: np.ndarray,
+    tm: np.ndarray,
+) -> float:
+    """Solve SAM for one application and write the result into ``perm``.
+
+    Convenience used by both the select and polish phases of
+    sort-select-swap.  ``cache_rates``/``mem_rates`` are the *global*
+    per-thread arrays; ``thread_slice`` picks the application's rows.
+    Returns the application's optimal APL.
+    """
+    res = solve_sam(
+        cache_rates[thread_slice], mem_rates[thread_slice], tiles, tc, tm
+    )
+    perm[thread_slice] = res.tile_of_thread
+    return res.apl

@@ -1,0 +1,152 @@
+"""Weighted OBM: differentiated per-application service targets.
+
+The paper motivates balanced latency with QoS in shared (paid)
+environments and cites differentiated-service mechanisms (Section I); the
+natural generalisation is to minimise ``max_i w_i * APL_i`` where a
+larger weight ``w_i`` demands a *lower* latency for application ``i``
+(e.g. a premium tenant with ``w = 1.25`` is treated as violating its
+target 25% earlier than a best-effort one).
+
+Implementation note: ``w_i * APL_i = L_i / (V_i / w_i)``, so the entire
+machinery of the unweighted problem — including sort-select-swap's
+incremental swap evaluation — carries over by replacing each
+application's volume with the *effective volume* ``V_i / w_i``.
+`solve_weighted_obm` does exactly that: it builds a surrogate instance
+with re-scaled rates and pinned volumes for the optimiser, then
+re-evaluates the returned mapping truthfully on the original instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import MappingEvaluation
+from repro.core.problem import Mapping, OBMInstance
+
+__all__ = ["WeightedEvaluation", "weighted_max_apl", "solve_weighted_obm"]
+
+
+@dataclass(frozen=True)
+class WeightedEvaluation:
+    """Unweighted metrics plus the weighted objective of one mapping."""
+
+    evaluation: MappingEvaluation  #: the ordinary (unweighted) metrics
+    weighted_apls: np.ndarray  #: ``w_i * APL_i`` (NaN for idle apps)
+    weighted_max: float
+
+
+def _check_weights(instance: OBMInstance, weights) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    n_real = len(instance.workload.without_idle().applications)
+    if w.shape == (n_real,):
+        # Extend over padding apps with weight 1 (they are excluded from
+        # the max anyway).
+        w = np.concatenate([w, np.ones(instance.workload.n_apps - n_real)])
+    if w.shape != (instance.workload.n_apps,):
+        raise ValueError(
+            f"expected {n_real} (or {instance.workload.n_apps}) weights, "
+            f"got shape {w.shape}"
+        )
+    if np.any(w <= 0) or not np.all(np.isfinite(w)):
+        raise ValueError("weights must be positive and finite")
+    return w
+
+
+def weighted_max_apl(
+    instance: OBMInstance, mapping: Mapping, weights
+) -> WeightedEvaluation:
+    """Evaluate ``max_i w_i * APL_i`` (plus standard metrics)."""
+    w = _check_weights(instance, weights)
+    ev = instance.evaluate(mapping)
+    weighted = ev.apls * w
+    active = instance.workload.active_apps
+    weighted_view = weighted.copy()
+    weighted_view.setflags(write=False)
+    return WeightedEvaluation(
+        evaluation=ev,
+        weighted_apls=weighted_view,
+        weighted_max=float(np.nanmax(weighted[active])),
+    )
+
+
+def _reweighted_instance(instance: OBMInstance, w: np.ndarray) -> OBMInstance:
+    """An equivalent instance whose *unweighted* max-APL equals the
+    weighted objective of the original.
+
+    Scale application ``i``'s per-thread rates by ``w_i`` (so its latency
+    numerator becomes ``w_i * L_i``) while pinning its volume denominator
+    to the *original* ``V_i`` via a proxy workload.  The surrogate's
+    per-app APL is then ``w_i * L_i / V_i = w_i * APL_i``, so any
+    unweighted max-APL algorithm optimises the weighted objective
+    directly — including SSS's incremental swap bookkeeping, unchanged.
+    """
+    from repro.core.workload import Application, Workload
+
+    wl = instance.workload
+    apps = []
+    for i, app in enumerate(wl.applications):
+        apps.append(
+            Application(app.name, app.cache_rates * w[i], app.mem_rates * w[i])
+        )
+    scaled = Workload(tuple(apps), name=wl.name)
+    override = _VolumeOverrideWorkload(scaled, wl.app_volumes.copy())
+    out = OBMInstance.__new__(OBMInstance)
+    out.model = instance.model
+    out.workload = override
+    return out
+
+
+class _VolumeOverrideWorkload:
+    """A workload proxy whose ``app_volumes`` are fixed externally.
+
+    Thin delegation wrapper: the optimiser reads ``cache_rates`` /
+    ``mem_rates`` (scaled by weights, so per-app latency sums become
+    ``w_i * L_i``) but divides by the *original* volumes, producing
+    exactly ``w_i * APL_i``.
+    """
+
+    def __init__(self, workload, volumes: np.ndarray) -> None:
+        self._workload = workload
+        volumes.setflags(write=False)
+        self._volumes = volumes
+
+    @property
+    def app_volumes(self) -> np.ndarray:
+        return self._volumes
+
+    def __getattr__(self, name):
+        return getattr(self._workload, name)
+
+
+def solve_weighted_obm(
+    instance: OBMInstance,
+    weights,
+    algorithm=None,
+    **algorithm_kwargs,
+):
+    """Solve the weighted OBM problem with any unweighted algorithm.
+
+    ``algorithm`` defaults to sort-select-swap; it is called on the
+    reweighted equivalent instance, and the returned mapping is
+    re-evaluated truthfully on the original instance.
+
+    Returns ``(MappingResult on the original instance, WeightedEvaluation)``.
+    """
+    from repro.core.results import MappingResult
+    from repro.core.sss import sort_select_swap
+
+    w = _check_weights(instance, weights)
+    algorithm = algorithm or sort_select_swap
+    surrogate = _reweighted_instance(instance, w)
+    result = algorithm(surrogate, **algorithm_kwargs)
+    wev = weighted_max_apl(instance, result.mapping, w)
+    truthful = MappingResult(
+        algorithm=f"{result.algorithm}/weighted",
+        mapping=result.mapping,
+        evaluation=wev.evaluation,
+        runtime_seconds=result.runtime_seconds,
+        extra={**result.extra, "weights": w, "weighted_max": wev.weighted_max},
+    )
+    return truthful, wev

@@ -1,0 +1,231 @@
+"""Workload model: applications, threads, and their communication rates.
+
+The mapping algorithms see each thread as a pair of request rates
+(paper Section III.B):
+
+* ``c_j`` — shared-L2 cache request rate (packets per unit time), and
+* ``m_j`` — memory-controller request rate.
+
+An :class:`Application` groups contiguous threads; a :class:`Workload` is
+the ordered collection of applications whose total thread count equals the
+number of tiles (padding with zero-traffic pseudo-threads when it falls
+short, per the paper's footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["Application", "Workload"]
+
+#: Name given to the pseudo-application holding zero-traffic padding threads.
+IDLE_APP_NAME = "_idle"
+
+
+def _as_rate_array(values, label: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{label} must be a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{label} must contain at least one thread")
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise ValueError(f"{label} must be finite and non-negative")
+    arr = arr.copy()
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class Application:
+    """A multi-threaded application characterised by per-thread rates.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. a PARSEC benchmark name).
+    cache_rates:
+        ``c_j`` for each thread.
+    mem_rates:
+        ``m_j`` for each thread (same length as ``cache_rates``).
+    """
+
+    name: str
+    cache_rates: np.ndarray
+    mem_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cache_rates", _as_rate_array(self.cache_rates, "cache_rates"))
+        object.__setattr__(self, "mem_rates", _as_rate_array(self.mem_rates, "mem_rates"))
+        if self.cache_rates.shape != self.mem_rates.shape:
+            raise ValueError(
+                f"application {self.name!r}: cache_rates has {self.cache_rates.size} threads "
+                f"but mem_rates has {self.mem_rates.size}"
+            )
+
+    @property
+    def n_threads(self) -> int:
+        return self.cache_rates.size
+
+    @property
+    def total_rate(self) -> float:
+        """Total communication volume per unit time: sum of ``c_j + m_j``."""
+        return float(self.cache_rates.sum() + self.mem_rates.sum())
+
+    @property
+    def is_idle(self) -> bool:
+        """True for zero-traffic padding applications."""
+        return self.total_rate == 0.0
+
+    @property
+    def cache_to_mem_ratio(self) -> float:
+        """Ratio of cache to memory traffic volume (inf if no memory traffic)."""
+        mem = self.mem_rates.sum()
+        if mem == 0:
+            return float("inf")
+        return float(self.cache_rates.sum() / mem)
+
+    @classmethod
+    def uniform(cls, name: str, n_threads: int, cache_rate: float, mem_rate: float) -> "Application":
+        """All threads share the same rates — handy for analytic examples."""
+        return cls(
+            name,
+            np.full(n_threads, float(cache_rate)),
+            np.full(n_threads, float(mem_rate)),
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered set of applications to be co-mapped onto one chip.
+
+    Thread indexing follows the paper: application ``i`` owns the contiguous
+    thread range ``N_{i-1} .. N_i - 1`` (0-based), where ``N_i`` is the
+    cumulative thread count.
+    """
+
+    applications: tuple[Application, ...]
+    name: str = field(default="workload")
+
+    def __post_init__(self) -> None:
+        apps = tuple(self.applications)
+        if not apps:
+            raise ValueError("workload needs at least one application")
+        names = [a.name for a in apps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate application names: {names}")
+        object.__setattr__(self, "applications", apps)
+
+    # ------------------------------------------------------------------
+    # Aggregate views over all threads
+    # ------------------------------------------------------------------
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.applications)
+
+    @cached_property
+    def n_threads(self) -> int:
+        return sum(a.n_threads for a in self.applications)
+
+    @cached_property
+    def cache_rates(self) -> np.ndarray:
+        """Concatenated ``c_j`` over all threads, in application order."""
+        arr = np.concatenate([a.cache_rates for a in self.applications])
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def mem_rates(self) -> np.ndarray:
+        """Concatenated ``m_j`` over all threads, in application order."""
+        arr = np.concatenate([a.mem_rates for a in self.applications])
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def boundaries(self) -> np.ndarray:
+        """Cumulative thread counts ``[N_0=0, N_1, ..., N_A]``."""
+        arr = np.concatenate([[0], np.cumsum([a.n_threads for a in self.applications])])
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def app_of_thread(self) -> np.ndarray:
+        """Application index owning each global thread index."""
+        arr = np.repeat(np.arange(self.n_apps), [a.n_threads for a in self.applications])
+        arr.setflags(write=False)
+        return arr
+
+    def thread_slice(self, app_index: int) -> slice:
+        """Global thread-index slice of application ``app_index``."""
+        b = self.boundaries
+        return slice(int(b[app_index]), int(b[app_index + 1]))
+
+    @cached_property
+    def app_volumes(self) -> np.ndarray:
+        """Per-application total communication volume (eq. 5 denominator)."""
+        arr = np.array([a.total_rate for a in self.applications])
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def active_apps(self) -> np.ndarray:
+        """Indices of applications with nonzero traffic.
+
+        Zero-traffic padding applications have an undefined APL (0/0) and
+        are excluded from the balance metrics.
+        """
+        arr = np.flatnonzero(self.app_volumes > 0)
+        arr.setflags(write=False)
+        return arr
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def padded_to(self, n_tiles: int) -> "Workload":
+        """Pad with zero-traffic pseudo-threads up to ``n_tiles`` threads.
+
+        Implements the paper's footnote 1: when fewer threads than tiles
+        exist, pseudo-threads with zero traffic fill the remaining tiles.
+        They are grouped into a dedicated idle application so real
+        applications' APLs are unaffected.
+        """
+        missing = n_tiles - self.n_threads
+        if missing < 0:
+            raise ValueError(
+                f"workload has {self.n_threads} threads but the chip only has {n_tiles} tiles"
+            )
+        if missing == 0:
+            return self
+        idle = Application(IDLE_APP_NAME, np.zeros(missing), np.zeros(missing))
+        return Workload(self.applications + (idle,), name=self.name)
+
+    def without_idle(self) -> "Workload":
+        """Drop padding applications (inverse of :meth:`padded_to`)."""
+        real = tuple(a for a in self.applications if a.name != IDLE_APP_NAME)
+        if len(real) == len(self.applications):
+            return self
+        return Workload(real, name=self.name)
+
+    def sorted_by_traffic(self) -> "Workload":
+        """Applications re-ordered by ascending total communication rate.
+
+        The paper numbers applications "in ascending order of total
+        communication rates (Application 1 has the lightest traffic)";
+        this helper reproduces that canonical ordering for figures.
+        """
+        order = sorted(range(self.n_apps), key=lambda i: self.applications[i].total_rate)
+        return Workload(tuple(self.applications[i] for i in order), name=self.name)
+
+    def summary(self) -> str:
+        """One line per application: threads, cache/memory volume."""
+        lines = [f"workload {self.name!r}: {self.n_apps} applications, {self.n_threads} threads"]
+        for a in self.applications:
+            lines.append(
+                f"  {a.name}: {a.n_threads} threads, cache {a.cache_rates.sum():.3f}/t.u., "
+                f"mem {a.mem_rates.sum():.3f}/t.u."
+            )
+        return "\n".join(lines)

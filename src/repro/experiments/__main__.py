@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.experiments <id> [--fast]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="artifact id (e.g. table1, fig9) or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink stochastic search budgets (for smoke runs)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        help="also write <id>.txt / <id>.json artifacts into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.output_dir:
+        from repro.experiments.artifacts import write_artifacts
+
+        written = write_artifacts(args.output_dir, ids, fast=args.fast)
+        for experiment_id, path in written.items():
+            print(path.read_text())
+        print(f"artifacts written to {args.output_dir}")
+        return 0
+    for experiment_id in ids:
+        report = EXPERIMENTS[experiment_id](fast=args.fast)
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Batch artifact generation: run experiments, write text + JSON to disk.
+
+``python -m repro.experiments all`` prints to stdout; this module gives
+the archival equivalent — one ``<id>.txt`` (the rendered report) and one
+``<id>.json`` (the JSON-safe slice of the raw data) per experiment, plus
+an index file, so reproduction outputs can be versioned and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["write_artifacts"]
+
+
+def _json_safe(value):
+    """Best-effort conversion of report data to JSON-representable types."""
+    if isinstance(value, (bool, int, float, str, type(None))):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        v = float(value)
+        return None if np.isnan(v) else v
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, float) and np.isnan(value):  # pragma: no cover
+        return None
+    return repr(value)
+
+
+def write_artifacts(
+    output_dir: str | Path,
+    experiment_ids: list[str] | None = None,
+    *,
+    fast: bool = False,
+) -> dict[str, Path]:
+    """Run the selected experiments and write their artifacts.
+
+    Returns a map from experiment id to the written text file.  Unknown
+    ids raise before anything runs.
+    """
+    ids = list(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {unknown}")
+
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    index = []
+    for experiment_id in ids:
+        report = EXPERIMENTS[experiment_id](fast=fast)
+        text_path = output_dir / f"{experiment_id}.txt"
+        text_path.write_text(str(report) + "\n")
+        json_path = output_dir / f"{experiment_id}.json"
+        json_path.write_text(
+            json.dumps(
+                {
+                    "experiment_id": report.experiment_id,
+                    "title": report.title,
+                    "fast": fast,
+                    "data": _json_safe(report.data),
+                },
+                indent=2,
+                sort_keys=True,
+                default=repr,
+            )
+            + "\n"
+        )
+        written[experiment_id] = text_path
+        index.append(f"{experiment_id}: {report.title}")
+    (output_dir / "INDEX.txt").write_text("\n".join(index) + "\n")
+    return written

@@ -1,0 +1,113 @@
+"""Figure 11: NoC dynamic power of the four mapping algorithms.
+
+Dynamic NoC power depends on the mapping only through the number of flits
+injected per unit time and the hops each flit travels (Section V.B.6).
+The harness computes both analytically from the mapping (every request is
+paired with a 5-flit reply along the same Manhattan distance) and charges
+the DSENT-style activity energies; an optional mode cross-checks single
+configurations against the cycle-level simulator.
+
+Expected shape: Global has the lowest dynamic power (it minimises
+rate-weighted hops); SSS is within a few percent; MC and SA slightly worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import Mapping, OBMInstance
+from repro.experiments.base import (
+    ALGORITHM_ORDER,
+    CONFIG_NAMES,
+    ExperimentReport,
+    run_algorithms,
+    standard_instance,
+)
+from repro.noc.power import ActivityCounts, PowerBreakdown, PowerModel
+from repro.utils.text import format_table
+
+__all__ = ["analytic_noc_power", "fig11"]
+
+#: Flits of a request/reply pair: 1-flit request + 5-flit data reply.
+FLITS_PER_TRANSACTION = 6
+
+#: Cycles one workload rate unit spans (matches the NoC traffic default).
+CYCLES_PER_UNIT = 1000.0
+
+
+def analytic_noc_power(
+    instance: OBMInstance,
+    mapping: Mapping,
+    power_model: PowerModel | None = None,
+    cycles: int = 100_000,
+) -> PowerBreakdown:
+    """Expected NoC power of running ``instance``'s workload under ``mapping``.
+
+    Cache transactions from tile ``t`` travel ``HC(t)`` hops on average
+    (uniform bank hashing), memory transactions ``HM(t)`` hops; requests
+    and replies cover the same distance in opposite directions.  Local
+    transactions (the ``1/N`` hash-hit fraction) never enter the network.
+    """
+    power_model = power_model or PowerModel(instance.mesh)
+    wl = instance.workload
+    tiles = mapping.perm
+    hc = instance.model.cache_hops[tiles]
+    hm = instance.model.mem_hops[tiles]
+    n = instance.n
+
+    # Per unit time: flit-link traversals and flit-router traversals.
+    cache_rate = wl.cache_rates
+    mem_rate = wl.mem_rates
+    # Cache: a fraction (n-1)/n of transactions are remote; HC already
+    # averages hops over all destinations including the local one.
+    cache_links = float((cache_rate * hc).sum()) * FLITS_PER_TRANSACTION
+    cache_routers = cache_links + float(cache_rate.sum()) * FLITS_PER_TRANSACTION * (n - 1) / n
+    remote_mem = mem_rate * (hm > 0)
+    mem_links = float((mem_rate * hm).sum()) * FLITS_PER_TRANSACTION
+    mem_routers = mem_links + float(remote_mem.sum()) * FLITS_PER_TRANSACTION
+
+    links_per_cycle = (cache_links + mem_links) / CYCLES_PER_UNIT
+    routers_per_cycle = (cache_routers + mem_routers) / CYCLES_PER_UNIT
+    counts = ActivityCounts(
+        flit_router_traversals=int(round(routers_per_cycle * cycles)),
+        flit_link_traversals=int(round(links_per_cycle * cycles)),
+        buffer_writes=int(round(routers_per_cycle * cycles)),
+        cycles=cycles,
+    )
+    return power_model.power(counts)
+
+
+def fig11(*, fast: bool = False) -> ExperimentReport:
+    """Figure 11: dynamic power comparison across C1-C8."""
+    per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
+    data = {}
+    for name in CONFIG_NAMES:
+        instance = standard_instance(name)
+        results = run_algorithms(instance, fast=fast, seed_tag=name)
+        powers = {
+            alg: analytic_noc_power(instance, results[alg].mapping).dynamic
+            for alg in ALGORITHM_ORDER
+        }
+        base = powers["Global"]
+        for alg in ALGORITHM_ORDER:
+            per_alg[alg].append(powers[alg] / base)
+        data[name] = powers
+    rows = [
+        [alg, *vals, float(np.mean(vals))] for alg, vals in per_alg.items()
+    ]
+    text = format_table(
+        ["", *CONFIG_NAMES, "Avg"],
+        rows,
+        title="Figure 11: dynamic NoC power, normalized to Global",
+        float_fmt="{:.4f}",
+    )
+    overheads = {
+        alg: float(np.mean(per_alg[alg])) - 1.0 for alg in ("MC", "SA", "SSS")
+    }
+    text += (
+        f"\npower overhead vs Global: MC {overheads['MC']:.2%}, "
+        f"SA {overheads['SA']:.2%}, SSS {overheads['SSS']:.2%} "
+        "(paper: SSS < 2.7%, best of the three)"
+    )
+    data["overheads"] = overheads
+    return ExperimentReport("fig11", "dynamic NoC power", text, data)

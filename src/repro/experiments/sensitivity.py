@@ -1,0 +1,97 @@
+"""Robustness studies beyond the paper's single-seed evaluation.
+
+* :func:`seed_sensitivity` — redraws each configuration's workload with
+  several seeds (the paper has one trace per configuration) and reports
+  the spread of the SSS-vs-Global improvements: is the headline 10%/99%
+  result an artifact of one draw?
+* :func:`latency_param_sensitivity` — sweeps the router timing parameters
+  (``td_q``, ``td_s``) around the calibrated defaults and checks the
+  qualitative conclusions survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import global_mapping
+from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.experiments.base import CONFIG_NAMES, ExperimentReport
+from repro.utils.rng import stable_seed
+from repro.utils.text import format_table
+from repro.workloads.parsec import parsec_config
+
+__all__ = ["seed_sensitivity", "latency_param_sensitivity"]
+
+
+def seed_sensitivity(
+    config_names=CONFIG_NAMES[:4], n_seeds: int = 5
+) -> ExperimentReport:
+    """SSS-vs-Global improvements across workload redraws."""
+    rows = []
+    all_max_gains, all_dev_gains = [], []
+    for name in config_names:
+        max_gains, dev_gains = [], []
+        for k in range(n_seeds):
+            workload = parsec_config(name, seed=stable_seed("sens", name, k))
+            instance = OBMInstance(MeshLatencyModel(Mesh.square(8)), workload)
+            glob = global_mapping(instance)
+            sss = sort_select_swap(instance)
+            max_gains.append(1 - sss.max_apl / glob.max_apl)
+            dev_gains.append(1 - sss.dev_apl / glob.dev_apl)
+        rows.append(
+            [
+                name,
+                float(np.mean(max_gains)) * 100,
+                float(np.std(max_gains)) * 100,
+                float(np.min(max_gains)) * 100,
+                float(np.mean(dev_gains)) * 100,
+            ]
+        )
+        all_max_gains.extend(max_gains)
+        all_dev_gains.extend(dev_gains)
+    text = format_table(
+        ["config", "max-APL gain % (mean)", "std", "worst", "dev-APL gain % (mean)"],
+        rows,
+        title=f"SSS vs Global across {n_seeds} workload redraws",
+        float_fmt="{:.2f}",
+    )
+    data = {
+        "rows": rows,
+        "max_gain_mean": float(np.mean(all_max_gains)),
+        "max_gain_min": float(np.min(all_max_gains)),
+        "dev_gain_mean": float(np.mean(all_dev_gains)),
+    }
+    text += (
+        f"\noverall: max-APL gain {data['max_gain_mean']:.2%} "
+        f"(never below {data['max_gain_min']:.2%}), "
+        f"dev-APL gain {data['dev_gain_mean']:.2%}"
+    )
+    return ExperimentReport("sensitivity-seeds", "workload-seed robustness", text, data)
+
+
+def latency_param_sensitivity(config_name: str = "C1") -> ExperimentReport:
+    """Do the conclusions survive different td_q / td_s calibrations?"""
+    rows = []
+    data = {}
+    for td_q in (0.0, 0.2, 1.0):
+        for td_s in (1.0, 1.75, 5.0):
+            params = LatencyParams(td_q=td_q, td_s=td_s)
+            model = MeshLatencyModel(Mesh.square(8), params)
+            instance = OBMInstance(model, parsec_config(config_name))
+            glob = global_mapping(instance)
+            sss = sort_select_swap(instance)
+            gain = 1 - sss.max_apl / glob.max_apl
+            dev_ratio = sss.dev_apl / glob.dev_apl
+            rows.append([td_q, td_s, glob.max_apl, sss.max_apl, gain * 100, dev_ratio])
+            data[(td_q, td_s)] = {"gain": gain, "dev_ratio": dev_ratio}
+    text = format_table(
+        ["td_q", "td_s", "Global max-APL", "SSS max-APL", "gain %", "dev ratio"],
+        rows,
+        title=f"latency-parameter sensitivity on {config_name}",
+        float_fmt="{:.3f}",
+    )
+    return ExperimentReport(
+        "sensitivity-params", "latency-parameter robustness", text, data
+    )

@@ -1,0 +1,75 @@
+"""Cycle-level wormhole mesh NoC simulator (the paper's Garnet substitute).
+
+A 3-stage-pipeline, virtual-channel, credit-flow-controlled router model
+on a 2-D mesh with XY routing, plus traffic generators driven by OBM
+workloads/mappings, latency statistics, and a DSENT-style activity-based
+power model.  Used to validate the analytic ``TC``/``TM`` latency model
+and to reproduce the measured-power comparison of Figure 11.
+"""
+
+from repro.noc.closedloop import (
+    ClosedLoopConfig,
+    ClosedLoopResult,
+    ClosedLoopSimulator,
+)
+from repro.noc.network import Network, NetworkConfig, NetworkInterface
+from repro.noc.packet import Flit, Packet, TrafficClass
+from repro.noc.power import ActivityCounts, PowerBreakdown, PowerModel, PowerParams
+from repro.noc.router import Router, RouterConfig, VirtualChannel
+from repro.noc.routing import (
+    ROUTE_FUNCTIONS,
+    Port,
+    route_path,
+    west_first_route,
+    xy_route,
+    yx_route,
+)
+from repro.noc.telemetry import NetworkTelemetry, TelemetrySnapshot
+from repro.noc.transactions import Transaction, TransactionTracker
+from repro.noc.simulator import NoCSimulator, SimulationResult
+from repro.noc.stats import LatencyStats, LatencySummary
+from repro.noc.traffic import (
+    MappedWorkloadTraffic,
+    NearestMCTraffic,
+    TrafficGenerator,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+
+__all__ = [
+    "ActivityCounts",
+    "ClosedLoopConfig",
+    "ClosedLoopResult",
+    "ClosedLoopSimulator",
+    "Flit",
+    "LatencyStats",
+    "LatencySummary",
+    "MappedWorkloadTraffic",
+    "NearestMCTraffic",
+    "Network",
+    "NetworkConfig",
+    "NetworkInterface",
+    "NetworkTelemetry",
+    "NoCSimulator",
+    "Packet",
+    "Port",
+    "ROUTE_FUNCTIONS",
+    "TelemetrySnapshot",
+    "Transaction",
+    "TransactionTracker",
+    "PowerBreakdown",
+    "PowerModel",
+    "PowerParams",
+    "Router",
+    "RouterConfig",
+    "SimulationResult",
+    "TrafficClass",
+    "TrafficGenerator",
+    "TransposeTraffic",
+    "UniformRandomTraffic",
+    "VirtualChannel",
+    "route_path",
+    "west_first_route",
+    "xy_route",
+    "yx_route",
+]

@@ -1,0 +1,304 @@
+"""Mesh network assembly and the cycle-by-cycle simulation engine.
+
+Wires one :class:`~repro.noc.router.Router` per tile, single-cycle links
+between neighbours, and one :class:`NetworkInterface` (NI) per tile for
+injection/ejection.  The engine keeps an *active set* of routers so that
+at the paper's (low) operating loads idle routers cost nothing — crucial
+for running thousands of cycles of an 8x8 mesh in pure Python.
+
+Locally addressed packets (src == dst) bypass the network entirely with
+zero latency, mirroring the analytic model's rule that a request hashed to
+the local L2 bank needs no network traversal (and hence no serialization
+latency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.latency import Mesh
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router, RouterConfig
+from repro.noc.routing import Port, next_tile
+
+__all__ = ["NetworkConfig", "NetworkInterface", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network-level parameters (defaults = paper Table 2)."""
+
+    router: RouterConfig = field(default_factory=RouterConfig)
+    link_latency: int = 1  #: cycles per link traversal
+    routing: str = "xy"  #: xy | yx | west_first (all minimal, deadlock-free)
+
+    def __post_init__(self) -> None:
+        from repro.noc.routing import ROUTE_FUNCTIONS
+
+        if self.link_latency < 1:
+            raise ValueError("link latency must be at least one cycle")
+        if self.routing not in ROUTE_FUNCTIONS:
+            raise ValueError(
+                f"unknown routing {self.routing!r}; expected one of "
+                f"{sorted(ROUTE_FUNCTIONS)}"
+            )
+
+
+class NetworkInterface:
+    """Per-tile injection and ejection endpoint.
+
+    Injection: packets queue per tile; each cycle the NI tries to feed the
+    next flit of the packet it is currently sending into the router's LOCAL
+    input port, opening a new VC for each new packet (packets on distinct
+    VCs interleave at flit granularity is *not* modelled on the injection
+    link — one packet streams at a time, like a single-channel NI DMA).
+
+    Ejection: flits delivered to the LOCAL output are consumed immediately;
+    the tail flit timestamps the packet and hands it to the network's
+    delivered list.
+    """
+
+    def __init__(self, tile: int, router: Router) -> None:
+        self.tile = tile
+        self.router = router
+        self.queue: deque[Packet] = deque()
+        self._current: list[Flit] | None = None  # remaining flits of in-flight packet
+        self._current_vc: int | None = None
+        self.injected_packets = 0
+        self.ejected_packets = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        self.queue.append(packet)
+
+    @property
+    def pending(self) -> int:
+        """Packets waiting or in the middle of injection."""
+        return len(self.queue) + (1 if self._current else 0)
+
+    def inject_step(self, now: int) -> bool:
+        """Try to push one flit into the router; returns True if one moved."""
+        if self._current is None:
+            if not self.queue:
+                return False
+            packet = self.queue[0]
+            # Open a VC on the router's LOCAL input for the new packet.
+            vc = self._free_local_vc()
+            if vc is None:
+                return False
+            self.queue.popleft()
+            packet.injected_at = now
+            self._current = packet.flits()
+            self._current_vc = vc
+            self.injected_packets += 1
+        vc = self._current_vc
+        if not self.router.can_accept(Port.LOCAL, vc):
+            return False
+        flit = self._current.pop(0)
+        self.router.receive_flit(Port.LOCAL, vc, flit, now)
+        if not self._current:
+            self._current = None
+            self._current_vc = None
+        return True
+
+    def _free_local_vc(self) -> int | None:
+        """A LOCAL input VC (within the head packet's class partition) that
+        is idle between packets and empty."""
+        packet = self.queue[0]
+        lo, hi = self.router.config.vc_range(int(packet.traffic_class))
+        for vc_index in range(lo, hi):
+            channel = self.router.inputs[Port.LOCAL][vc_index]
+            if channel.state == "idle" and channel.occupancy == 0:
+                return vc_index
+        return None
+
+    def eject(self, flit: Flit, now: int) -> Packet | None:
+        """Consume a delivered flit; returns the packet on tail arrival."""
+        if flit.packet.dst != self.tile:
+            raise RuntimeError(
+                f"flit for tile {flit.packet.dst} ejected at tile {self.tile} "
+                "(routing error)"
+            )
+        if flit.is_tail:
+            flit.packet.ejected_at = now
+            self.ejected_packets += 1
+            return flit.packet
+        return None
+
+
+class _Link:
+    """A unidirectional pipelined wire between two routers."""
+
+    __slots__ = ("latency", "in_flight", "flits_carried")
+
+    def __init__(self, latency: int) -> None:
+        self.latency = latency
+        self.in_flight: deque[tuple[int, int, Flit]] = deque()  # (arrive, vc, flit)
+        self.flits_carried = 0  #: cumulative traffic tally (telemetry)
+
+    def send(self, now: int, vc: int, flit: Flit) -> None:
+        self.in_flight.append((now + self.latency, vc, flit))
+        self.flits_carried += 1
+
+    def arrivals(self, now: int):
+        while self.in_flight and self.in_flight[0][0] <= now:
+            _, vc, flit = self.in_flight.popleft()
+            yield vc, flit
+
+
+class Network:
+    """The full mesh NoC: routers, links, NIs, and the cycle loop."""
+
+    def __init__(self, mesh: Mesh, config: NetworkConfig | None = None) -> None:
+        from repro.noc.routing import ROUTE_FUNCTIONS
+
+        self.mesh = mesh
+        self.config = config or NetworkConfig()
+        route_fn = ROUTE_FUNCTIONS[self.config.routing]
+        route = lambda tile, dst: route_fn(mesh, tile, dst)
+        self.routers = [
+            Router(t, self.config.router, route) for t in range(mesh.n_tiles)
+        ]
+        self.interfaces = [NetworkInterface(t, self.routers[t]) for t in range(mesh.n_tiles)]
+        # links[(tile, port)] carries flits leaving `tile` through `port`.
+        self.links: dict[tuple[int, Port], _Link] = {}
+        for t in range(mesh.n_tiles):
+            for port in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH):
+                try:
+                    next_tile(mesh, t, port)
+                except ValueError:
+                    continue
+                self.links[(t, port)] = _Link(self.config.link_latency)
+        self.now = 0
+        self.delivered: list[Packet] = []
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self._active: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Packet entry points
+    # ------------------------------------------------------------------
+
+    def submit(self, packet: Packet) -> None:
+        """Queue a packet for injection at its source tile.
+
+        Locally addressed packets complete instantly without touching the
+        network (the analytic model's src == dst rule).
+        """
+        if packet.src == packet.dst:
+            packet.injected_at = self.now
+            packet.ejected_at = self.now
+            self.delivered.append(packet)
+            return
+        self.interfaces[packet.src].enqueue(packet)
+        self._active.add(packet.src)
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        now = self.now
+
+        # 1. Link arrivals -> downstream buffer writes.
+        for (tile, port), link in self.links.items():
+            if not link.in_flight:
+                continue
+            dst_tile = next_tile(self.mesh, tile, port)
+            in_port = port.opposite
+            for vc, flit in link.arrivals(now):
+                self.routers[dst_tile].receive_flit(in_port, vc, flit, now)
+                self._active.add(dst_tile)
+
+        # 2. NI injection (one flit per NI per cycle).
+        for tile in list(self._active):
+            ni = self.interfaces[tile]
+            if ni.pending:
+                if ni.inject_step(now):
+                    self.flits_injected += 1
+
+        # 3. Router pipelines (only routers holding flits do any work).
+        for tile in sorted(self._active):
+            router = self.routers[tile]
+            if router.occupancy == 0:
+                continue
+            send = self._make_send(tile)
+            credit = self._make_credit(tile)
+            router.step(now, send, credit)
+
+        # 4. Retire idle tiles from the active set.
+        for tile in list(self._active):
+            if (
+                self.routers[tile].occupancy == 0
+                and self.interfaces[tile].pending == 0
+                and not any(
+                    self.links.get((tile, p)) and self.links[(tile, p)].in_flight
+                    for p in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH)
+                )
+            ):
+                self._active.discard(tile)
+
+        self.now = now + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Run until every in-flight and queued packet has been delivered."""
+        start = self.now
+        while self._active:
+            if self.now - start > max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    "(possible deadlock or livelock)"
+                )
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Router callbacks
+    # ------------------------------------------------------------------
+
+    def _make_send(self, tile: int):
+        def send(out_port: Port, out_vc: int, flit: Flit) -> None:
+            if out_port == Port.LOCAL:
+                packet = self.interfaces[tile].eject(flit, self.now)
+                self.flits_ejected += 1
+                if packet is not None:
+                    self.delivered.append(packet)
+                # The ejection NI drains at link rate: return the credit now.
+                self.routers[tile].credit_return(Port.LOCAL, out_vc)
+            else:
+                self.links[(tile, out_port)].send(self.now, out_vc, flit)
+                self._active.add(tile)  # keep source active until link clears
+
+        return send
+
+    def _make_credit(self, tile: int):
+        def credit(in_port: Port, in_vc: int) -> None:
+            # The freed buffer slot belongs to this router's input; the
+            # upstream router on the other side of the link gets the credit.
+            upstream = next_tile(self.mesh, tile, in_port)
+            self.routers[upstream].credit_return(in_port.opposite, in_vc)
+
+        return credit
+
+    # ------------------------------------------------------------------
+    # Introspection / invariants
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight_flits(self) -> int:
+        buffered = sum(r.occupancy for r in self.routers)
+        on_links = sum(len(l.in_flight) for l in self.links.values())
+        return buffered + on_links
+
+    def assert_conserved(self) -> None:
+        """Invariant: every injected flit is buffered, on a wire, or ejected."""
+        if self.flits_injected != self.flits_ejected + self.in_flight_flits:
+            raise AssertionError(
+                f"flit conservation violated: injected={self.flits_injected} "
+                f"ejected={self.flits_ejected} in_flight={self.in_flight_flits}"
+            )

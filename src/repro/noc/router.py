@@ -1,0 +1,262 @@
+"""Cycle-level wormhole router with virtual channels and credit flow control.
+
+Models the paper's canonical router (Table 2): a 3-stage pipeline
+(buffer-write/route-compute, VC-allocation/switch-allocation, switch+link
+traversal), 5-flit input buffers per VC, and credit-based backpressure.
+Rather than simulating each pipeline stage as a separate register bank, a
+flit written into an input buffer at cycle ``t`` becomes eligible for
+switch traversal at ``t + pipeline_depth`` — equivalent timing for an
+uncontended pipeline, with contention adding queuing on top, which is
+exactly the ``td_q`` term of the paper's latency model.
+
+Simplifications relative to a Garnet-class RTL model (documented in
+DESIGN.md): credits are returned instantly rather than after a credit-wire
+delay, and VC allocation is greedy first-free.  Both effects are
+second-order at the paper's operating loads and do not change who wins a
+mapping comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.noc.packet import Flit
+from repro.noc.routing import Port
+
+__all__ = ["RouterConfig", "VirtualChannel", "Router"]
+
+_VC_IDLE = "idle"
+_VC_ROUTING = "routing"
+_VC_ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Microarchitectural parameters (defaults = paper Table 2).
+
+    With ``vc_classes > 1`` the VCs of every port are statically
+    partitioned among protocol classes (Table 2: "3 VCs per protocol
+    class"): a packet may only be allocated VCs of its own class, which
+    separates request and reply traffic and removes protocol-level
+    deadlock when replies depend on requests.
+    """
+
+    vcs_per_port: int = 3
+    buffer_depth: int = 5  #: flits per VC
+    pipeline_depth: int = 3  #: cycles from buffer write to switch eligibility
+    vc_classes: int = 1  #: protocol-class partitions of each port's VCs
+    arbitration: str = "round_robin"  #: round_robin | oldest_first
+
+    def __post_init__(self) -> None:
+        if self.vcs_per_port < 1:
+            raise ValueError("need at least one VC per port")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer depth must be at least one flit")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline depth must be at least one cycle")
+        if self.vc_classes < 1:
+            raise ValueError("need at least one VC class")
+        if self.vcs_per_port % self.vc_classes != 0:
+            raise ValueError(
+                f"{self.vcs_per_port} VCs cannot be split into "
+                f"{self.vc_classes} equal class partitions"
+            )
+        if self.arbitration not in ("round_robin", "oldest_first"):
+            raise ValueError(
+                f"unknown arbitration {self.arbitration!r}; "
+                "expected 'round_robin' or 'oldest_first'"
+            )
+
+    def vc_range(self, traffic_class: int) -> tuple[int, int]:
+        """Half-open VC index range usable by ``traffic_class``."""
+        if self.vc_classes == 1:
+            return (0, self.vcs_per_port)
+        per = self.vcs_per_port // self.vc_classes
+        c = traffic_class % self.vc_classes
+        return (c * per, (c + 1) * per)
+
+
+@dataclass
+class VirtualChannel:
+    """One input virtual channel: a FIFO plus wormhole allocation state."""
+
+    port: Port
+    index: int
+    buffer: deque = field(default_factory=deque)
+    state: str = _VC_IDLE
+    out_port: Port | None = None
+    out_vc: int | None = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+    def reset_route(self) -> None:
+        self.state = _VC_ROUTING if self.buffer else _VC_IDLE
+        self.out_port = None
+        self.out_vc = None
+
+
+class Router:
+    """One mesh router.
+
+    The surrounding :class:`~repro.noc.network.Network` wires ports to
+    links and the local network interface, and calls :meth:`step` once per
+    cycle (only for routers with buffered flits — idle routers cost
+    nothing).
+    """
+
+    def __init__(self, tile: int, config: RouterConfig, route_fn) -> None:
+        self.tile = tile
+        self.config = config
+        self._route_fn = route_fn  # (tile, dst) -> Port
+        self.inputs: dict[Port, list[VirtualChannel]] = {
+            port: [VirtualChannel(port, v) for v in range(config.vcs_per_port)]
+            for port in Port
+        }
+        # Credits towards each downstream input buffer; LOCAL output goes to
+        # the ejection-side NI which drains at link rate, modelled as a
+        # buffer of the same depth refilled by the NI every cycle.
+        self.credits: dict[Port, list[int]] = {
+            port: [config.buffer_depth] * config.vcs_per_port for port in Port
+        }
+        # Which (in_port, in_vc) currently owns each downstream VC.
+        self.out_vc_owner: dict[Port, list[tuple[Port, int] | None]] = {
+            port: [None] * config.vcs_per_port for port in Port
+        }
+        # Round-robin pointers for switch allocation, one per output port.
+        self._sa_pointer: dict[Port, int] = {port: 0 for port in Port}
+        # Statistics
+        self.flits_routed = 0
+        self.buffer_writes = 0
+
+    # ------------------------------------------------------------------
+    # Interface used by Network / NetworkInterface
+    # ------------------------------------------------------------------
+
+    def can_accept(self, port: Port, vc: int) -> bool:
+        """Upstream-visible: is there buffer space in input (port, vc)?
+
+        Upstream credit counters normally guarantee this; exposed for the
+        injection side and for assertions.
+        """
+        return self.inputs[port][vc].occupancy < self.config.buffer_depth
+
+    def receive_flit(self, port: Port, vc: int, flit: Flit, now: int) -> None:
+        """Buffer-write stage: a flit arrives from a link or the local NI."""
+        channel = self.inputs[port][vc]
+        if channel.occupancy >= self.config.buffer_depth:
+            raise RuntimeError(
+                f"router {self.tile}: buffer overflow on {port.name}.vc{vc} "
+                f"(credit protocol violated)"
+            )
+        flit.ready_at = now + self.config.pipeline_depth
+        channel.buffer.append(flit)
+        self.buffer_writes += 1
+        if channel.state == _VC_IDLE:
+            channel.state = _VC_ROUTING
+
+    @property
+    def occupancy(self) -> int:
+        """Total buffered flits (0 means the router can be skipped)."""
+        return sum(vc.occupancy for vcs in self.inputs.values() for vc in vcs)
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+
+    def step(self, now: int, send_fn, credit_fn) -> None:
+        """One cycle: route compute, VC allocation, switch allocation + ST.
+
+        ``send_fn(out_port, out_vc, flit)`` hands the winning flit to the
+        network (link or ejection NI); ``credit_fn(in_port, in_vc)``
+        returns one credit upstream for the freed buffer slot.
+        """
+        self._route_compute()
+        self._vc_allocate()
+        self._switch_allocate(now, send_fn, credit_fn)
+
+    def _route_compute(self) -> None:
+        for vcs in self.inputs.values():
+            for channel in vcs:
+                if channel.state == _VC_ROUTING and channel.buffer:
+                    head = channel.buffer[0]
+                    if not head.is_head:
+                        raise RuntimeError(
+                            f"router {self.tile}: VC front is a {head.kind} flit "
+                            "but the VC has no route (wormhole ordering violated)"
+                        )
+                    channel.out_port = self._route_fn(self.tile, head.packet.dst)
+                    channel.state = "awaiting_vc"  # VC allocated in _vc_allocate
+
+    def _vc_allocate(self) -> None:
+        for vcs in self.inputs.values():
+            for channel in vcs:
+                if channel.state != "awaiting_vc":
+                    continue
+                owners = self.out_vc_owner[channel.out_port]
+                head = channel.buffer[0]
+                lo, hi = self.config.vc_range(int(head.packet.traffic_class))
+                for out_vc in range(lo, hi):
+                    if owners[out_vc] is None:
+                        owners[out_vc] = (channel.port, channel.index)
+                        channel.out_vc = out_vc
+                        channel.state = _VC_ACTIVE
+                        break
+                # If no downstream VC is free the channel retries next cycle.
+
+    def _switch_allocate(self, now: int, send_fn, credit_fn) -> None:
+        # Gather per-output-port candidates: ACTIVE VCs with an eligible
+        # flit at the front and a downstream credit available.
+        candidates: dict[Port, list[VirtualChannel]] = {}
+        for vcs in self.inputs.values():
+            for channel in vcs:
+                if channel.state != _VC_ACTIVE or not channel.buffer:
+                    continue
+                flit = channel.buffer[0]
+                if flit.ready_at > now:
+                    continue
+                if self.credits[channel.out_port][channel.out_vc] <= 0:
+                    continue
+                candidates.setdefault(channel.out_port, []).append(channel)
+
+        for out_port, channels in candidates.items():
+            key = lambda ch: (ch.port.value * self.config.vcs_per_port + ch.index)
+            if self.config.arbitration == "oldest_first":
+                # Age-based: the packet waiting longest (earliest creation)
+                # wins; ties fall back to the stable VC order.
+                winner = min(
+                    channels, key=lambda ch: (ch.buffer[0].packet.created_at, key(ch))
+                )
+            else:
+                # Round-robin among competing input VCs for this output port.
+                channels.sort(key=key)
+                pointer = self._sa_pointer[out_port]
+                winner = min(channels, key=lambda ch: (key(ch) - pointer) % 64)
+                self._sa_pointer[out_port] = (key(winner) + 1) % (
+                    len(Port) * self.config.vcs_per_port
+                )
+
+            flit = winner.buffer.popleft()
+            out_vc = winner.out_vc
+            self.credits[out_port][out_vc] -= 1
+            self.flits_routed += 1
+            send_fn(out_port, out_vc, flit)
+            if winner.port != Port.LOCAL:
+                credit_fn(winner.port, winner.index)
+            if flit.is_tail:
+                self.out_vc_owner[out_port][out_vc] = None
+                winner.reset_route()
+
+    # ------------------------------------------------------------------
+    # Credit plumbing
+    # ------------------------------------------------------------------
+
+    def credit_return(self, out_port: Port, out_vc: int) -> None:
+        """A downstream buffer slot on (out_port, out_vc) was freed."""
+        self.credits[out_port][out_vc] += 1
+        if self.credits[out_port][out_vc] > self.config.buffer_depth:
+            raise RuntimeError(
+                f"router {self.tile}: credit overflow on {out_port.name}.vc{out_vc}"
+            )

@@ -1,0 +1,122 @@
+"""Latency statistics collection for simulated packets.
+
+Groups delivered packets by application and traffic class and reproduces
+the paper's metrics from *measured* (rather than modelled) latencies:
+per-application APL, max-APL, dev-APL and g-APL.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.packet import Packet, TrafficClass
+
+__all__ = ["LatencySummary", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one group of packet latencies."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, latencies: np.ndarray) -> "LatencySummary":
+        if latencies.size == 0:
+            raise ValueError("cannot summarise an empty latency set")
+        return cls(
+            count=int(latencies.size),
+            mean=float(latencies.mean()),
+            std=float(latencies.std()),
+            p50=float(np.percentile(latencies, 50)),
+            p95=float(np.percentile(latencies, 95)),
+            p99=float(np.percentile(latencies, 99)),
+            max=float(latencies.max()),
+        )
+
+
+class LatencyStats:
+    """Accumulates delivered packets and answers APL-style queries."""
+
+    def __init__(self, include_local: bool = True) -> None:
+        #: include packets with src == dst (latency 0); the analytic model
+        #: includes them in the cache-traffic average, so the default does too.
+        self.include_local = include_local
+        self._by_app: dict[int, list[int]] = defaultdict(list)
+        self._by_class: dict[TrafficClass, list[int]] = defaultdict(list)
+        self._all: list[int] = []
+        self.dropped_local = 0
+
+    def add(self, packet: Packet) -> None:
+        if packet.src == packet.dst and not self.include_local:
+            self.dropped_local += 1
+            return
+        latency = packet.latency
+        self._all.append(latency)
+        self._by_app[packet.app].append(latency)
+        self._by_class[packet.traffic_class].append(latency)
+
+    def add_all(self, packets) -> None:
+        for p in packets:
+            self.add(p)
+
+    @property
+    def n_packets(self) -> int:
+        return len(self._all)
+
+    def overall(self) -> LatencySummary:
+        return LatencySummary.of(np.asarray(self._all))
+
+    def by_class(self, traffic_class: TrafficClass) -> LatencySummary:
+        return LatencySummary.of(np.asarray(self._by_class[traffic_class]))
+
+    def classes(self) -> list[TrafficClass]:
+        return sorted(self._by_class)
+
+    def apps(self) -> list[int]:
+        return sorted(self._by_app)
+
+    def apl_by_app(self) -> dict[int, float]:
+        """Measured per-application average packet latency."""
+        return {
+            app: float(np.mean(lat)) for app, lat in sorted(self._by_app.items())
+        }
+
+    def max_apl(self) -> float:
+        apls = self.apl_by_app()
+        if not apls:
+            raise ValueError("no packets recorded")
+        return max(apls.values())
+
+    def dev_apl(self) -> float:
+        apls = np.array(list(self.apl_by_app().values()))
+        if apls.size == 0:
+            raise ValueError("no packets recorded")
+        return float(apls.std())
+
+    def g_apl(self) -> float:
+        if not self._all:
+            raise ValueError("no packets recorded")
+        return float(np.mean(self._all))
+
+    def report(self) -> str:
+        lines = [f"{self.n_packets} packets delivered"]
+        for app, apl in self.apl_by_app().items():
+            label = f"app {app}" if app >= 0 else "background"
+            lines.append(f"  {label}: APL {apl:.2f} cycles ({len(self._by_app[app])} pkts)")
+        for cls in self.classes():
+            s = self.by_class(cls)
+            lines.append(
+                f"  {cls.name}: mean {s.mean:.2f} p95 {s.p95:.1f} max {s.max:.0f} "
+                f"({s.count} pkts)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Traffic generation for the cycle-level NoC simulator.
+
+Two families:
+
+* :class:`MappedWorkloadTraffic` — the reproduction's workhorse.  Driven by
+  an OBM instance and a mapping, each thread injects cache requests from
+  its mapped tile to uniformly random tiles (the address-interleaved L2)
+  and memory requests to its nearest controller, at its calibrated
+  ``c_j`` / ``m_j`` rates.  Optional reply packets model the 5-flit data
+  responses from L2 banks and memory controllers.
+* Synthetic patterns (:class:`UniformRandomTraffic`,
+  :class:`TransposeTraffic`, :class:`NearestMCTraffic`) used by the NoC
+  validation tests and the latency-model calibration.
+
+Rates in the workload model are *per unit time*; ``cycles_per_unit``
+converts them to per-cycle injection probabilities (default 1000 cycles
+per unit, which puts the paper's Table 3 rates comfortably below
+saturation, matching its observation that ``td_q`` is only 0--1 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency import MeshLatencyModel
+from repro.core.problem import Mapping, OBMInstance
+from repro.noc.packet import Packet, TrafficClass
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "TrafficGenerator",
+    "UniformRandomTraffic",
+    "TransposeTraffic",
+    "NearestMCTraffic",
+    "MappedWorkloadTraffic",
+]
+
+
+class TrafficGenerator:
+    """Base class: yields the packets created in a given cycle."""
+
+    def packets_for_cycle(self, now: int) -> list[Packet]:
+        raise NotImplementedError
+
+
+@dataclass
+class _PatternBase(TrafficGenerator):
+    """Shared machinery for per-node Bernoulli injection patterns."""
+
+    n_tiles: int
+    injection_rate: float  #: packets per node per cycle
+    length: int = 1
+    seed: object = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.injection_rate <= 1:
+            raise ValueError("injection rate must be a per-cycle probability")
+        if self.n_tiles < 2:
+            raise ValueError("need at least two tiles for network traffic")
+        self._rng = as_rng(self.seed)
+
+    def _sources_this_cycle(self) -> np.ndarray:
+        return np.flatnonzero(self._rng.random(self.n_tiles) < self.injection_rate)
+
+    def _dst(self, src: int) -> int:
+        raise NotImplementedError
+
+    def packets_for_cycle(self, now: int) -> list[Packet]:
+        out = []
+        for src in self._sources_this_cycle():
+            src = int(src)
+            dst = self._dst(src)
+            out.append(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    traffic_class=TrafficClass.CACHE_REQUEST,
+                    created_at=now,
+                    length=self.length,
+                )
+            )
+        return out
+
+
+class UniformRandomTraffic(_PatternBase):
+    """Each packet targets a uniformly random *other* tile."""
+
+    def _dst(self, src: int) -> int:
+        dst = int(self._rng.integers(self.n_tiles - 1))
+        return dst if dst < src else dst + 1
+
+
+@dataclass
+class TransposeTraffic(_PatternBase):
+    """Matrix-transpose permutation traffic on a square mesh."""
+
+    side: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.side * self.side != self.n_tiles:
+            raise ValueError("transpose traffic requires a square mesh")
+
+    def _dst(self, src: int) -> int:
+        r, c = divmod(src, self.side)
+        return c * self.side + r
+
+    def packets_for_cycle(self, now: int) -> list[Packet]:
+        return [p for p in super().packets_for_cycle(now) if p.src != p.dst]
+
+
+@dataclass
+class NearestMCTraffic(_PatternBase):
+    """All packets target the source's nearest memory controller."""
+
+    model: MeshLatencyModel = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.model is None:
+            raise ValueError("NearestMCTraffic requires a latency model")
+
+    def _dst(self, src: int) -> int:
+        return self.model.nearest_mc(src)
+
+
+class MappedWorkloadTraffic(TrafficGenerator):
+    """Inject an OBM workload's traffic under a given thread-to-tile mapping.
+
+    Parameters
+    ----------
+    instance:
+        The OBM instance (provides rates, latency model and mesh).
+    mapping:
+        Thread-to-tile permutation under test.
+    cycles_per_unit:
+        How many cycles one workload "unit time" spans; per-cycle injection
+        probability of thread j is ``c_j / cycles_per_unit``.
+    generate_replies:
+        When True, every request schedules a reply packet (5 flits) in the
+        reverse direction after a service delay (L2 hit latency for cache,
+        memory latency for memory requests), reproducing the dominant
+        request/reply structure of the real protocol.
+    """
+
+    def __init__(
+        self,
+        instance: OBMInstance,
+        mapping: Mapping,
+        cycles_per_unit: float = 1000.0,
+        generate_replies: bool = False,
+        l2_latency: int = 6,
+        memory_latency: int = 128,
+        seed=None,
+        router_pipeline: int = 3,
+        link_latency: int = 1,
+    ) -> None:
+        if cycles_per_unit <= 0:
+            raise ValueError("cycles_per_unit must be positive")
+        self._per_hop = router_pipeline + link_latency
+        self._pipeline = router_pipeline
+        self.instance = instance
+        self.mapping = mapping
+        self.cycles_per_unit = cycles_per_unit
+        self.generate_replies = generate_replies
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+        self._rng = as_rng(seed)
+
+        wl = instance.workload
+        self.p_cache = wl.cache_rates / cycles_per_unit
+        self.p_mem = wl.mem_rates / cycles_per_unit
+        if (self.p_cache + self.p_mem).max() > 1.0:
+            raise ValueError(
+                "per-cycle injection probability exceeds 1; increase cycles_per_unit"
+            )
+        self.thread_tile = mapping.perm
+        self.app_of_thread = wl.app_of_thread
+        self.n_tiles = instance.n
+        self._model = instance.model
+        # Replies scheduled for the future: cycle -> list of packets.
+        self._pending_replies: dict[int, list[Packet]] = {}
+
+    def _make_request(self, thread: int, now: int, memory: bool) -> Packet:
+        src = int(self.thread_tile[thread])
+        if memory:
+            dst = self._model.nearest_mc(src)
+            cls = TrafficClass.MEM_REQUEST
+        else:
+            dst = int(self._rng.integers(self.n_tiles))
+            cls = TrafficClass.CACHE_REQUEST
+        return Packet(
+            src=src,
+            dst=dst,
+            traffic_class=cls,
+            created_at=now,
+            app=int(self.app_of_thread[thread]),
+            thread=int(thread),
+        )
+
+    def _request_arrival_estimate(self, request: Packet, now: int) -> int:
+        """Zero-load delivery cycle of a request (open-loop reply pacing).
+
+        The generator is open-loop (it does not observe actual deliveries),
+        so replies are scheduled after the request's *expected* uncontended
+        arrival: ``hops*(pipeline+link) + pipeline + (flits-1)``.  Queuing
+        shifts real arrivals slightly later; at the paper's loads that
+        error is the 0-1 cycle ``td_q`` term.
+        """
+        hops = self.instance.mesh.hops(request.src, request.dst)
+        return now + hops * self._per_hop + self._pipeline + (request.length - 1)
+
+    def _schedule_reply(self, request: Packet, now: int) -> None:
+        if request.traffic_class == TrafficClass.CACHE_REQUEST:
+            delay, cls = self.l2_latency, TrafficClass.CACHE_REPLY
+        else:
+            delay, cls = self.memory_latency, TrafficClass.MEM_REPLY
+        due = self._request_arrival_estimate(request, now) + delay
+        reply = Packet(
+            src=request.dst,
+            dst=request.src,
+            traffic_class=cls,
+            created_at=due,
+            app=request.app,
+            thread=request.thread,
+        )
+        self._pending_replies.setdefault(due, []).append(reply)
+
+    def packets_for_cycle(self, now: int) -> list[Packet]:
+        draws = self._rng.random((2, self.p_cache.size))
+        out = []
+        for thread in np.flatnonzero(draws[0] < self.p_cache):
+            out.append(self._make_request(int(thread), now, memory=False))
+        for thread in np.flatnonzero(draws[1] < self.p_mem):
+            out.append(self._make_request(int(thread), now, memory=True))
+        if self.generate_replies:
+            for request in out:
+                self._schedule_reply(request, now)
+            out.extend(self._pending_replies.pop(now, []))
+        return out

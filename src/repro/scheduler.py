@@ -1,0 +1,250 @@
+"""Event-driven multi-application scheduling on one CMP.
+
+The paper argues SSS's short runtime lets the system re-solve the OBM
+problem whenever "applications are dynamically added or removed"
+(Section IV).  This module builds that scenario as a proper substrate: a
+timeline of application arrivals and departures, a remapping *policy*
+invoked on each change, and per-interval metric accounting, so policies
+can be compared quantitatively (never remap vs remap-on-change vs any
+custom policy).
+
+Time is abstract (one unit = one scheduling epoch); algorithm runtimes
+are recorded so the remapping overhead can be compared to epoch length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.latency import MeshLatencyModel
+from repro.core.metrics import MappingEvaluation
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "SchedulerEvent",
+    "IntervalRecord",
+    "ScheduleResult",
+    "RemapPolicy",
+    "SSSRemapPolicy",
+    "StaticFirstFitPolicy",
+    "CMPScheduler",
+    "poisson_schedule",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One arrival or departure at integer time ``when``."""
+
+    when: int
+    kind: str  #: "arrive" | "depart"
+    app: Application | None = None  #: for arrivals
+    name: str | None = None  #: for departures
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("arrive", "depart"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind == "arrive" and self.app is None:
+            raise ValueError("arrival events need an application")
+        if self.kind == "depart" and not self.name:
+            raise ValueError("departure events need an application name")
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """Metrics of one inter-event interval under the active mapping."""
+
+    start: int
+    end: int
+    running: tuple[str, ...]
+    evaluation: MappingEvaluation | None  #: None when the chip is idle
+    remapped: bool
+    remap_seconds: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleResult:
+    intervals: list[IntervalRecord] = field(default_factory=list)
+
+    def time_weighted_max_apl(self) -> float:
+        """Mean max-APL over time (idle intervals excluded)."""
+        num = den = 0.0
+        for rec in self.intervals:
+            if rec.evaluation is None or rec.duration == 0:
+                continue
+            num += rec.evaluation.max_apl * rec.duration
+            den += rec.duration
+        if den == 0:
+            raise ValueError("no busy intervals recorded")
+        return num / den
+
+    def time_weighted_dev_apl(self) -> float:
+        num = den = 0.0
+        for rec in self.intervals:
+            if rec.evaluation is None or rec.duration == 0:
+                continue
+            num += rec.evaluation.dev_apl * rec.duration
+            den += rec.duration
+        if den == 0:
+            raise ValueError("no busy intervals recorded")
+        return num / den
+
+    @property
+    def n_remaps(self) -> int:
+        return sum(1 for r in self.intervals if r.remapped)
+
+    @property
+    def total_remap_seconds(self) -> float:
+        return sum(r.remap_seconds for r in self.intervals)
+
+
+class RemapPolicy:
+    """Decides the mapping whenever the running set changes."""
+
+    name = "abstract"
+
+    def remap(
+        self, instance: OBMInstance, previous: Mapping | None
+    ) -> tuple[Mapping, float]:
+        """Return (mapping, runtime_seconds)."""
+        raise NotImplementedError
+
+
+class SSSRemapPolicy(RemapPolicy):
+    """Re-solve with sort-select-swap on every change (the paper's pitch)."""
+
+    name = "sss-on-change"
+
+    def remap(self, instance, previous):
+        result = sort_select_swap(instance)
+        return result.mapping, result.runtime_seconds
+
+
+class StaticFirstFitPolicy(RemapPolicy):
+    """Never optimise: place threads on tiles in index order."""
+
+    name = "first-fit"
+
+    def remap(self, instance, previous):
+        return Mapping(np.arange(instance.n)), 0.0
+
+
+class CMPScheduler:
+    """Replays an event timeline and accounts per-interval metrics."""
+
+    def __init__(self, model: MeshLatencyModel, policy: RemapPolicy) -> None:
+        self.model = model
+        self.policy = policy
+
+    def run(self, events: list[SchedulerEvent], horizon: int) -> ScheduleResult:
+        """Apply ``events`` (sorted by time) up to ``horizon``."""
+        events = sorted(events, key=lambda e: e.when)
+        result = ScheduleResult()
+        running: dict[str, Application] = {}
+        mapping: Mapping | None = None
+        evaluation: MappingEvaluation | None = None
+        now = 0
+        remapped = False
+        remap_seconds = 0.0
+
+        def close_interval(end: int) -> None:
+            nonlocal remapped, remap_seconds
+            if end > now:
+                result.intervals.append(
+                    IntervalRecord(
+                        start=now,
+                        end=end,
+                        running=tuple(running),
+                        evaluation=evaluation,
+                        remapped=remapped,
+                        remap_seconds=remap_seconds,
+                    )
+                )
+            remapped = False
+            remap_seconds = 0.0
+
+        for event in events:
+            if event.when > horizon:
+                break
+            close_interval(event.when)
+            now = event.when
+            if event.kind == "arrive":
+                if event.app.name in running:
+                    raise ValueError(f"application {event.app.name!r} already running")
+                total_threads = sum(a.n_threads for a in running.values())
+                if total_threads + event.app.n_threads > self.model.n_tiles:
+                    raise ValueError(
+                        f"admitting {event.app.name!r} would exceed the chip "
+                        f"({total_threads + event.app.n_threads} threads for "
+                        f"{self.model.n_tiles} tiles)"
+                    )
+                running[event.app.name] = event.app
+            else:
+                if event.name not in running:
+                    raise ValueError(f"application {event.name!r} is not running")
+                del running[event.name]
+
+            if running:
+                instance = OBMInstance(
+                    self.model, Workload(tuple(running.values()), name=f"t{now}")
+                )
+                mapping, seconds = self.policy.remap(instance, mapping)
+                evaluation = instance.evaluate(mapping)
+                remapped = True
+                remap_seconds = seconds
+            else:
+                mapping, evaluation = None, None
+        close_interval(horizon)
+        return result
+
+
+def poisson_schedule(
+    app_pool: list[Application],
+    horizon: int,
+    mean_interarrival: float = 8.0,
+    mean_lifetime: float = 20.0,
+    max_concurrent: int = 4,
+    seed=None,
+) -> list[SchedulerEvent]:
+    """Random arrival/departure timeline drawn from an application pool.
+
+    Arrivals are Poisson-paced and rejected while ``max_concurrent``
+    applications run; each admitted application departs after an
+    exponential lifetime.  Names get unique suffixes so repeats of a pool
+    entry can coexist in history.
+    """
+    if not app_pool:
+        raise ValueError("application pool is empty")
+    rng = as_rng(seed)
+    events: list[SchedulerEvent] = []
+    t = 0.0
+    live: list[tuple[int, str]] = []  # (departure time, name)
+    counter = 0
+    while True:
+        t += rng.exponential(mean_interarrival)
+        when = int(round(t))
+        if when >= horizon:
+            break
+        live = [(d, n) for d, n in live if d > when]
+        if len(live) >= max_concurrent:
+            continue
+        template = app_pool[int(rng.integers(len(app_pool)))]
+        name = f"{template.name}#{counter}"
+        counter += 1
+        app = Application(name, template.cache_rates, template.mem_rates)
+        events.append(SchedulerEvent(when=when, kind="arrive", app=app))
+        lifetime = max(1, int(round(rng.exponential(mean_lifetime))))
+        depart_at = when + lifetime
+        if depart_at < horizon:
+            events.append(SchedulerEvent(when=depart_at, kind="depart", name=name))
+        live.append((depart_at, name))
+    return sorted(events, key=lambda e: e.when)

@@ -1,0 +1,12 @@
+"""Shared utilities: seeded RNG handling, text rendering of grids and tables."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.text import format_table, grid_to_text, heatmap_to_text
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "format_table",
+    "grid_to_text",
+    "heatmap_to_text",
+]

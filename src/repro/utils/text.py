@@ -1,0 +1,95 @@
+"""Plain-text rendering of tables, tile grids and heat maps.
+
+The paper's evaluation artifacts are tables and small figures.  All
+reproduction harnesses in :mod:`repro.experiments` render their output as
+monospace text so that ``python -m repro.experiments <id>`` and the pytest
+benchmarks can print paper-comparable rows without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Shade ramp used by :func:`heatmap_to_text`, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+
+    def cell(value) -> str:
+        if isinstance(value, float) or isinstance(value, np.floating):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def grid_to_text(grid: np.ndarray, *, cell_width: int | None = None) -> str:
+    """Render a 2-D array of small labels (e.g. application ids) as a grid.
+
+    Mirrors the mapping-layout figures in the paper (Figures 4 and 8): each
+    tile of the mesh shows which application occupies it.
+    """
+    grid = np.asarray(grid)
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {grid.shape}")
+    cells = [[str(v) for v in row] for row in grid]
+    width = cell_width or max(len(c) for row in cells for c in row)
+    return "\n".join(" ".join(c.rjust(width) for c in row) for row in cells)
+
+
+def heatmap_to_text(
+    values: np.ndarray, *, legend: bool = True, fmt: str = "{:.2f}"
+) -> str:
+    """Render a 2-D array as an ASCII heat map (darker = larger).
+
+    Used to reproduce Figure 3's latency shading: central tiles have lower
+    cache latency (lighter), corner tiles lower memory latency.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {values.shape}")
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span == 0:
+        idx = np.zeros(values.shape, dtype=int)
+    else:
+        idx = np.floor((values - lo) / span * (len(_SHADES) - 1)).astype(int)
+    rows = ["".join(_SHADES[i] * 2 for i in row) for row in idx]
+    out = "\n".join(rows)
+    if legend:
+        out += "\n" + f"[{fmt.format(lo)} = '{_SHADES[0]}' .. {fmt.format(hi)} = '{_SHADES[-1]}']"
+    return out
+
+
+def format_percent(value: float, *, signed: bool = True) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.1042 -> '+10.42%'``."""
+    pct = value * 100.0
+    sign = "+" if (signed and pct >= 0) else ""
+    return f"{sign}{pct:.2f}%"

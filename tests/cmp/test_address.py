@@ -1,0 +1,85 @@
+"""Tests of the address map and bank hashing (paper Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp.address import AddressMap
+
+
+class TestAddressMap:
+    def test_field_widths(self):
+        amap = AddressMap(block_bytes=64, n_banks=64)
+        assert amap.offset_bits == 6
+        assert amap.bank_bits == 6
+
+    def test_paper_example(self):
+        """Paper Section II.C: 64-B blocks -> bits 0-5 offset, bits 6-11
+        select among 64 banks."""
+        amap = AddressMap(block_bytes=64, n_banks=64)
+        # Address with bank bits = 0b101010 = 42
+        addr = (42 << 6) | 17
+        assert amap.bank_of(addr) == 42
+        assert amap.block_of(addr) == 42
+
+    def test_consecutive_lines_stripe_across_banks(self):
+        """The property the whole paper rests on: consecutive cache lines
+        land in consecutive banks (round-robin)."""
+        amap = AddressMap(block_bytes=64, n_banks=8)
+        banks = [amap.bank_of(line * 64) for line in range(16)]
+        assert banks == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_bank_hash_uniform(self):
+        amap = AddressMap(block_bytes=64, n_banks=16)
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 40, size=20_000)
+        banks = amap.bank_of(addrs)
+        counts = np.bincount(banks, minlength=16)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_vectorised(self):
+        amap = AddressMap()
+        addrs = np.array([0, 64, 128])
+        assert list(amap.bank_of(addrs)) == [0, 1, 2]
+
+    def test_set_index_and_tag(self):
+        amap = AddressMap(block_bytes=64, n_banks=4)
+        n_sets = 8
+        addr = amap.compose(tag=13, set_index=5, bank=2, offset=9, n_sets=n_sets)
+        assert amap.tag_of(addr, n_sets) == 13
+        assert amap.set_index_of(addr, n_sets) == 5
+        assert amap.bank_of(addr) == 2
+        assert addr % 64 == 9
+
+    @given(
+        tag=st.integers(0, 2**20),
+        set_index=st.integers(0, 63),
+        bank=st.integers(0, 15),
+        offset=st.integers(0, 63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_compose_split_roundtrip(self, tag, set_index, bank, offset):
+        amap = AddressMap(block_bytes=64, n_banks=16)
+        addr = amap.compose(tag, set_index, bank, offset, n_sets=64)
+        assert amap.tag_of(addr, 64) == tag
+        assert amap.set_index_of(addr, 64) == set_index
+        assert amap.bank_of(addr) == bank
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=48)
+        with pytest.raises(ValueError):
+            AddressMap(n_banks=12)
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.set_index_of(0, 12)
+
+    def test_compose_bounds(self):
+        amap = AddressMap(n_banks=4)
+        with pytest.raises(ValueError):
+            amap.compose(0, 0, 4, 0, n_sets=8)
+        with pytest.raises(ValueError):
+            amap.compose(0, 8, 0, 0, n_sets=8)
+        with pytest.raises(ValueError):
+            amap.compose(0, 0, 0, 64, n_sets=8)

@@ -1,0 +1,154 @@
+"""Tests of the set-associative LRU cache, including a hypothesis-driven
+cross-check against a reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp.cache import CacheConfig, SetAssociativeCache
+
+
+class TestCacheConfig:
+    def test_canonical_l1(self):
+        c = CacheConfig.l1_canonical()
+        assert c.size == 32 * 1024 and c.ways == 2 and c.latency == 1
+        assert c.n_sets == 256
+        assert c.n_blocks == 512
+
+    def test_canonical_l2_bank(self):
+        c = CacheConfig.l2_bank_canonical()
+        assert c.size == 256 * 1024 and c.ways == 16 and c.latency == 6
+        assert c.n_sets == 256
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=0, ways=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size=100, ways=2, block_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig(size=3 * 64 * 2, ways=2, block_bytes=64)  # 3 sets
+
+
+class TestLRUBehaviour:
+    def make(self, ways=2, sets=4):
+        return SetAssociativeCache(
+            CacheConfig(size=ways * sets * 64, ways=ways, block_bytes=64)
+        )
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.lookup(10)
+        cache.fill(10)
+        assert cache.lookup(10)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = self.make(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)  # 0 becomes MRU; 1 is now LRU
+        cache.fill(2)  # evicts 1
+        assert cache.lookup(0)
+        assert not cache.lookup(1)
+
+    def test_dirty_eviction_returns_victim(self):
+        cache = self.make(ways=1, sets=1)
+        cache.fill(5, dirty=True)
+        victim = cache.fill(6)
+        assert victim == 5
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_returns_none(self):
+        cache = self.make(ways=1, sets=1)
+        cache.fill(5)
+        assert cache.fill(6) is None
+        assert cache.stats.evictions == 1
+
+    def test_victim_address_reconstruction(self):
+        cache = self.make(ways=1, sets=4)
+        block = 4 * 7 + 2  # set 2, tag 7
+        cache.fill(block, dirty=True)
+        victim = cache.fill(4 * 9 + 2)  # same set, different tag
+        assert victim == block
+
+    def test_write_sets_dirty(self):
+        cache = self.make(ways=1, sets=1)
+        cache.fill(3)
+        cache.lookup(3, write=True)
+        assert cache.fill(4) == 3  # dirty writeback
+
+    def test_refill_resident_updates_metadata(self):
+        cache = self.make(ways=2, sets=1)
+        cache.fill(1)
+        assert cache.fill(1, dirty=True) is None
+        cache.set_state(1, "M")
+        assert cache.state_of(1) == "M"
+
+    def test_invalidate(self):
+        cache = self.make()
+        cache.fill(9)
+        assert cache.invalidate(9)
+        assert not cache.invalidate(9)
+        assert not cache.lookup(9)
+
+    def test_state_of_missing(self):
+        cache = self.make()
+        assert cache.state_of(1) is None
+        with pytest.raises(KeyError):
+            cache.set_state(1, "M")
+
+    def test_occupancy(self):
+        cache = self.make(ways=2, sets=2)
+        for b in range(4):
+            cache.fill(b)
+        assert cache.occupancy == 4
+
+    def test_no_touch_lookup(self):
+        cache = self.make(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0, touch=False)  # does not refresh LRU
+        cache.fill(2)  # evicts 0, the LRU despite the lookup
+        assert not cache.contains(0)
+
+
+class _ReferenceLRU:
+    """Dict-based reference model: per-set ordered list of tags."""
+
+    def __init__(self, ways, sets):
+        self.ways, self.sets = ways, sets
+        self.data = {s: [] for s in range(sets)}
+
+    def access(self, block):
+        s, tag = block % self.sets, block // self.sets
+        present = tag in self.data[s]
+        if present:
+            self.data[s].remove(tag)
+        self.data[s].append(tag)
+        if len(self.data[s]) > self.ways:
+            self.data[s].pop(0)
+        return present
+
+
+class TestAgainstReferenceModel:
+    @given(
+        ways=st.integers(1, 4),
+        sets_log=st.integers(0, 3),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_sequence_matches(self, ways, sets_log, seed):
+        sets = 1 << sets_log
+        cache = SetAssociativeCache(
+            CacheConfig(size=ways * sets * 64, ways=ways, block_bytes=64)
+        )
+        ref = _ReferenceLRU(ways, sets)
+        rng = np.random.default_rng(seed)
+        for block in rng.integers(0, 4 * ways * sets, size=300):
+            block = int(block)
+            expected = ref.access(block)
+            got = cache.lookup(block)
+            if not got:
+                cache.fill(block)
+            assert got == expected

@@ -1,0 +1,127 @@
+"""Tests of the chip configuration and the trace-driven hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cmp.chip import CANONICAL_CHIP, ChipConfig, table2_rows
+from repro.cmp.hierarchy import CMPMemoryHierarchy, workload_from_traces
+from repro.cmp.trace import PERSONALITIES, generate_trace
+from repro.core.latency import Mesh
+
+
+class TestChipConfig:
+    def test_canonical_matches_table2(self):
+        chip = CANONICAL_CHIP
+        assert chip.mesh.rows == chip.mesh.cols == 8
+        assert chip.l1.size == 32 * 1024
+        assert chip.l2_bank.size == 256 * 1024
+        assert chip.memory_latency == 128
+        assert chip.mc_tiles == (0, 7, 56, 63)
+        assert chip.total_l2_bytes == 16 * 1024 * 1024  # 16 MB shared L2
+
+    def test_flits_per_data_packet(self):
+        """64-B data + head flit over 128-bit links = 5 flits (Table 2)."""
+        assert CANONICAL_CHIP.flits_per_data_packet() == 5
+
+    def test_table2_rows_render(self):
+        rows = table2_rows()
+        labels = [r[0] for r in rows]
+        assert "Network topology" in labels
+        assert ("Network topology", "8x8 mesh") in rows
+        assert ("Memory latency", "128 cycles") in rows
+
+    def test_latency_model_uses_corners(self):
+        model = CANONICAL_CHIP.latency_model()
+        assert model.mc_tiles == (0, 7, 56, 63)
+
+    def test_network_config(self):
+        cfg = CANONICAL_CHIP.network_config()
+        assert cfg.router.pipeline_depth == 3
+        assert cfg.router.buffer_depth == 5
+        assert cfg.router.vcs_per_port == 3
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ChipConfig(frequency_ghz=0)
+        with pytest.raises(ValueError):
+            ChipConfig(memory_latency=0)
+
+    def test_mc_tiles_requires_four(self):
+        chip = ChipConfig(n_memory_controllers=2)
+        with pytest.raises(ValueError):
+            _ = chip.mc_tiles
+
+
+class TestHierarchy:
+    def test_run_traces_basic(self):
+        chip = ChipConfig(mesh=Mesh.square(4))
+        hierarchy = CMPMemoryHierarchy(chip)
+        traces = [
+            generate_trace(i, PERSONALITIES["swaptions"], 800, seed=i,
+                           base_block=10_000_000 + i * (1 << 18) + i * 333)
+            for i in range(4)
+        ]
+        result = hierarchy.run_traces(traces)
+        assert result.cache_requests.shape == (4,)
+        assert np.all(result.cache_requests >= 0)
+        assert 0 <= result.l1_miss_rate <= 1
+        assert 0 <= result.l2_miss_rate <= 1
+
+    def test_duplicate_thread_ids_rejected(self):
+        hierarchy = CMPMemoryHierarchy(ChipConfig(mesh=Mesh.square(4)))
+        t = generate_trace(0, PERSONALITIES["swaptions"], 100, seed=0)
+        with pytest.raises(ValueError):
+            hierarchy.run_traces([t, t])
+
+    def test_empty_traces_rejected(self):
+        hierarchy = CMPMemoryHierarchy(ChipConfig(mesh=Mesh.square(4)))
+        with pytest.raises(ValueError):
+            hierarchy.run_traces([])
+
+    def test_messages_kept_on_request(self):
+        hierarchy = CMPMemoryHierarchy(ChipConfig(mesh=Mesh.square(4)))
+        traces = [generate_trace(0, PERSONALITIES["canneal"], 400, seed=0)]
+        result = hierarchy.run_traces(traces, keep_messages=True)
+        assert len(result.messages) > 0
+
+
+class TestWorkloadFromTraces:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return workload_from_traces(
+            ["canneal", "swaptions"],
+            threads_per_app=4,
+            accesses_per_thread=2500,
+            seed=0,
+        )
+
+    def test_structure(self, workload):
+        assert workload.n_apps == 2
+        assert workload.n_threads == 8
+        assert workload.applications[0].name == "canneal"
+
+    def test_positive_cache_rates(self, workload):
+        assert np.all(workload.cache_rates > 0)
+
+    def test_cache_dominates_memory(self, workload):
+        """The paper's regime: cache traffic several times memory traffic."""
+        total_c = workload.cache_rates.sum()
+        total_m = workload.mem_rates.sum()
+        assert total_c > 2 * total_m
+
+    def test_personality_ordering(self, workload):
+        """canneal (L1-thrashing hot set) must out-communicate swaptions."""
+        canneal, swaptions = workload.applications
+        assert canneal.cache_rates.mean() > swaptions.cache_rates.mean()
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_traces(["doom"], threads_per_app=2, accesses_per_thread=100)
+
+    def test_duplicate_benchmarks_get_unique_names(self):
+        wl = workload_from_traces(
+            ["swaptions", "swaptions"], threads_per_app=2, accesses_per_thread=400,
+            seed=1,
+        )
+        names = [a.name for a in wl.applications]
+        assert len(set(names)) == 2

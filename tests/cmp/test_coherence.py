@@ -1,0 +1,173 @@
+"""Scenario tests of the MOESI directory protocol."""
+
+import pytest
+
+from repro.cmp.address import AddressMap
+from repro.cmp.cache import CacheConfig
+from repro.cmp.coherence import CoherenceSystem, MsgType
+
+
+@pytest.fixture
+def system():
+    """Small CMP: 4 tiles, tiny caches so evictions are easy to trigger."""
+    return CoherenceSystem(
+        n_tiles=4,
+        l1_config=CacheConfig(size=2 * 64 * 2, ways=2, block_bytes=64),  # 2 sets
+        l2_config=CacheConfig(size=8 * 64 * 4, ways=4, block_bytes=64),
+        address_map=AddressMap(block_bytes=64, n_banks=4),
+        mc_of_tile=lambda t: 0,
+    )
+
+
+def types(msgs):
+    return [m.mtype for m in msgs]
+
+
+class TestLoadPath:
+    def test_cold_load_fetches_memory_and_grants_e(self, system):
+        msgs = system.load(0, 100)
+        assert types(msgs) == [
+            MsgType.GETS,
+            MsgType.MEM_FETCH,
+            MsgType.MEM_DATA,
+            MsgType.DATA_E,
+        ]
+        assert system.l1s[0].state_of(100) == "E"
+        assert system.counters.mem_requests[0] == 1
+
+    def test_l1_hit_silent(self, system):
+        system.load(0, 100)
+        assert system.load(0, 100) == []
+
+    def test_warm_l2_load_is_cache_request(self, system):
+        system.load(0, 100)
+        # Evict from L1 via conflicting fills (same set: stride = n_sets).
+        system.load(0, 102)
+        system.load(0, 104)
+        msgs = system.load(0, 100)
+        assert MsgType.MEM_FETCH not in types(msgs)
+        assert system.counters.cache_requests[0] >= 1
+
+    def test_load_from_modified_owner_forwards(self, system):
+        system.store(0, 100)
+        msgs = system.load(1, 100)
+        assert MsgType.FWD_GETS in types(msgs)
+        assert MsgType.DATA in types(msgs)
+        # MOESI signature: owner transitions M -> O, keeps the line.
+        assert system.l1s[0].state_of(100) == "O"
+        assert system.l1s[1].state_of(100) == "S"
+
+    def test_load_joins_sharers(self, system):
+        system.load(0, 100)
+        system.load(1, 100)
+        msgs = system.load(2, 100)
+        entry = system.directory[100]
+        assert 2 in entry.sharers or entry.owner == 2
+
+
+class TestStorePath:
+    def test_cold_store_grants_m(self, system):
+        msgs = system.store(0, 200)
+        assert MsgType.GETX in types(msgs)
+        assert MsgType.DATA_X in types(msgs)
+        assert system.l1s[0].state_of(200) == "M"
+
+    def test_store_hit_m_silent(self, system):
+        system.store(0, 200)
+        assert system.store(0, 200) == []
+
+    def test_store_hit_e_silent_upgrade(self, system):
+        system.load(0, 200)
+        assert system.l1s[0].state_of(200) == "E"
+        assert system.store(0, 200) == []
+        assert system.l1s[0].state_of(200) == "M"
+
+    def test_store_to_shared_invalidates(self, system):
+        system.store(0, 200)     # core 0 owns M
+        system.load(1, 200)      # 0 -> O, 1 shares
+        msgs = system.store(1, 200)  # 1 upgrades: invalidate owner 0
+        assert MsgType.UPGRADE in types(msgs)
+        assert MsgType.INV in types(msgs)
+        assert system.l1s[0].state_of(200) is None
+        assert system.l1s[1].state_of(200) == "M"
+        assert system.directory[200].owner == 1
+
+    def test_store_miss_steals_from_owner(self, system):
+        system.store(0, 200)
+        msgs = system.store(1, 200)
+        assert MsgType.FWD_GETX in types(msgs)
+        assert system.l1s[0].state_of(200) is None
+        assert system.l1s[1].state_of(200) == "M"
+
+    def test_invalidations_fan_out_to_all_sharers(self, system):
+        system.load(0, 200)
+        system.load(1, 200)
+        system.load(2, 200)
+        msgs = system.store(3, 200)
+        inv_targets = {m.dst for m in msgs if m.mtype == MsgType.INV}
+        assert len(inv_targets) >= 2  # all sharers other than the requester
+
+
+class TestEvictions:
+    def test_dirty_l1_eviction_writes_back(self, system):
+        system.store(0, 100)
+        # Conflict-evict block 100 (2-way, 2-set L1: same-set blocks 102, 104).
+        msgs = system.load(0, 102) + system.load(0, 104)
+        all_types = types(msgs)
+        assert MsgType.WB_DATA in all_types
+        assert system.directory.get(100) is None or system.directory[100].owner != 0
+
+    def test_clean_eviction_sends_put(self, system):
+        system.load(0, 100)  # E state (clean)
+        msgs = system.load(0, 102) + system.load(0, 104)
+        assert MsgType.PUT in types(msgs)
+        assert MsgType.WB_DATA not in types(msgs)
+
+    def test_l2_dirty_eviction_writes_to_memory(self, system):
+        # Fill one L2 bank's sets beyond capacity with dirty blocks.
+        # Bank 0 blocks: multiples of 4; L2: 8 sets x 4 ways = 32 blocks.
+        msgs = []
+        for i in range(40):
+            block = i * 4 * 8  # bank 0, same set 0 after local shift? spread:
+            msgs += system.store(0, i * 4)
+            # evict from L1 quickly so WB_DATA lands in L2
+            msgs += system.load(0, i * 4 + 2 * 4)
+        has_mem_wb = any(m.mtype == MsgType.MEM_WB for m in msgs)
+        assert has_mem_wb
+
+    def test_counters_reset(self, system):
+        system.load(0, 100)
+        system.reset_counters()
+        assert system.counters.mem_requests[0] == 0
+        assert system.l1s[0].stats.accesses == 0
+
+
+class TestAccounting:
+    def test_request_rates(self, system):
+        system.load(0, 100)   # memory (cold)
+        system.load(1, 100)   # on-chip (owner forward)
+        c, m = system.request_rates([0, 1], window=2.0)
+        assert m[0] == pytest.approx(0.5)
+        assert c[1] == pytest.approx(0.5)
+
+    def test_invalid_window(self, system):
+        with pytest.raises(ValueError):
+            system.request_rates([0], window=0)
+
+    def test_message_flit_sizes(self, system):
+        msgs = system.load(0, 100)
+        for m in msgs:
+            if m.mtype.carries_data:
+                assert m.flits == 5
+            else:
+                assert m.flits == 1
+
+    def test_messages_tagged_with_requester(self, system):
+        msgs = system.store(2, 300)
+        assert all(m.thread == 2 for m in msgs)
+
+    def test_bank_local_mapping_roundtrip(self, system):
+        for block in (0, 5, 63, 1024, 99991):
+            home = system._home(block)
+            local = system._l2_local(block)
+            assert system._l2_global(local, home) == block

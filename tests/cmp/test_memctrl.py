@@ -1,0 +1,69 @@
+"""Tests of the memory controllers and the quadrant partition."""
+
+import pytest
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.cmp.memctrl import MemoryController, MemoryControllerSet
+
+
+class TestMemoryController:
+    def test_fixed_latency(self):
+        mc = MemoryController(tile=0, memory_latency=128, issue_interval=4)
+        assert mc.request(now=10) == 138
+
+    def test_bandwidth_limit_queues(self):
+        mc = MemoryController(tile=0, memory_latency=100, issue_interval=4)
+        t1 = mc.request(now=0)
+        t2 = mc.request(now=0)
+        t3 = mc.request(now=0)
+        assert (t1, t2, t3) == (100, 104, 108)
+        assert mc.requests_served == 3
+        assert mc.average_queue_delay == pytest.approx((0 + 4 + 8) / 3)
+
+    def test_idle_gap_resets_queue(self):
+        mc = MemoryController(tile=0, memory_latency=50, issue_interval=4)
+        mc.request(now=0)
+        assert mc.request(now=100) == 150  # no residual queueing
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryController(tile=0, memory_latency=0)
+        with pytest.raises(ValueError):
+            MemoryController(tile=0, issue_interval=0)
+
+
+class TestMemoryControllerSet:
+    @pytest.fixture
+    def mcs(self):
+        model = MeshLatencyModel(Mesh.square(4))
+        return MemoryControllerSet(model, memory_latency=100)
+
+    def test_one_controller_per_corner(self, mcs):
+        assert set(mcs.controllers) == {0, 3, 12, 15}
+
+    def test_quadrants_partition_chip(self, mcs):
+        quadrants = mcs.quadrants()
+        all_tiles = sorted(t for tiles in quadrants.values() for t in tiles)
+        assert all_tiles == list(range(16))
+        # every quadrant holds its own controller tile
+        for mc, tiles in quadrants.items():
+            assert mc in tiles
+
+    def test_proximity_rule(self, mcs):
+        # Tile (1,1) = 5 is nearest to controller 0.
+        assert mcs.controller_for(5).tile == 0
+        # Tile (2,2) = 10 is nearest to controller 15.
+        assert mcs.controller_for(10).tile == 15
+
+    def test_request_routing_and_counting(self, mcs):
+        mc_tile, ready = mcs.request(5, now=0)
+        assert mc_tile == 0
+        assert ready == 100
+        assert mcs.total_requests() == 1
+
+    def test_independent_queues(self, mcs):
+        # Saturate controller 0; controller 15 stays fast.
+        for _ in range(10):
+            mcs.request(5, now=0)
+        _, ready = mcs.request(10, now=0)
+        assert ready == 100

@@ -1,0 +1,115 @@
+"""Tests of the synthetic access-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cmp.trace import (
+    PERSONALITIES,
+    AccessTrace,
+    TracePersonality,
+    generate_trace,
+)
+
+
+class TestPersonality:
+    def test_known_names(self):
+        assert "canneal" in PERSONALITIES
+        assert "streamcluster" in PERSONALITIES
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            TracePersonality("x", seq_weight=0, hot_weight=0, random_weight=0)
+
+    def test_invalid_write_fraction(self):
+        with pytest.raises(ValueError):
+            TracePersonality("x", write_fraction=1.5)
+
+    def test_hot_exceeds_footprint(self):
+        with pytest.raises(ValueError):
+            TracePersonality("x", hot_blocks=100, footprint_blocks=50)
+
+
+class TestAccessTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessTrace(0, np.array([1, 2]), np.array([True]))
+        with pytest.raises(ValueError):
+            AccessTrace(0, np.array([1]), np.array([True]), warmup_len=5)
+
+    def test_measured_length(self):
+        t = AccessTrace(0, np.arange(10), np.zeros(10, bool), warmup_len=4)
+        assert t.measured_length == 6
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        p = PERSONALITIES["canneal"]
+        a = generate_trace(0, p, 500, seed=1)
+        b = generate_trace(0, p, 500, seed=1)
+        assert np.array_equal(a.block_addrs, b.block_addrs)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_warmup_sweep_covers_footprint(self):
+        p = PERSONALITIES["swaptions"]
+        t = generate_trace(0, p, 200, seed=0, base_block=1000)
+        sweep = t.block_addrs[: t.warmup_len]
+        assert set(range(1000, 1000 + p.footprint_blocks)) <= set(sweep.tolist())
+        assert not t.is_write[: t.warmup_len].any()
+
+    def test_no_warmup_option(self):
+        p = PERSONALITIES["swaptions"]
+        t = generate_trace(0, p, 200, seed=0, warmup_sweep=False)
+        assert t.warmup_len == 0
+        assert t.length == 200
+
+    def test_addresses_within_regions(self):
+        p = PERSONALITIES["blackscholes"]
+        base = 50_000
+        t = generate_trace(3, p, 2000, seed=2, base_block=base)
+        body = t.block_addrs[t.warmup_len :]
+        private = (body >= base) & (body < base + p.footprint_blocks)
+        stream = body >= (1 << 40)
+        assert np.all(private | stream)
+
+    def test_stream_blocks_never_repeat(self):
+        p = TracePersonality("s", seq_weight=0, hot_weight=0.5, random_weight=0,
+                             stream_weight=0.5, footprint_blocks=64, hot_blocks=8)
+        t = generate_trace(0, p, 2000, seed=3)
+        stream = t.block_addrs[t.block_addrs >= (1 << 40)]
+        assert len(np.unique(stream)) == stream.size
+
+    def test_mode_mix_roughly_matches_weights(self):
+        p = TracePersonality(
+            "m", seq_weight=0.3, hot_weight=0.5, random_weight=0.0,
+            stream_weight=0.2, footprint_blocks=4096, hot_blocks=64, run_length=16,
+        )
+        t = generate_trace(0, p, 20_000, seed=4, base_block=0, warmup_sweep=False)
+        stream_frac = float((t.block_addrs >= (1 << 40)).mean())
+        assert 0.15 < stream_frac < 0.25
+
+    def test_write_fraction(self):
+        p = TracePersonality("w", write_fraction=0.4, footprint_blocks=1024)
+        t = generate_trace(0, p, 5000, seed=5, warmup_sweep=False)
+        assert abs(t.is_write.mean() - 0.4) < 0.05
+
+    def test_shared_blocks_injected(self):
+        p = PERSONALITIES["swaptions"]
+        shared = np.arange(900_000, 900_064)
+        t = generate_trace(
+            0, p, 3000, seed=6, base_block=0, shared_blocks=shared, shared_fraction=0.3
+        )
+        body = t.block_addrs[t.warmup_len :]
+        frac = float(np.isin(body, shared).mean())
+        assert 0.2 < frac < 0.4
+
+    def test_invalid_args(self):
+        p = PERSONALITIES["swaptions"]
+        with pytest.raises(ValueError):
+            generate_trace(0, p, 0)
+        with pytest.raises(ValueError):
+            generate_trace(0, p, 10, shared_fraction=2.0)
+
+    def test_addresses_read_only(self):
+        t = generate_trace(0, PERSONALITIES["swaptions"], 100, seed=7)
+        with pytest.raises(ValueError):
+            t.block_addrs[0] = 1

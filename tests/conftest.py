@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.workload import Application, Workload
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    return Mesh.square(8)
+
+
+@pytest.fixture
+def model8(mesh8) -> MeshLatencyModel:
+    return MeshLatencyModel(mesh8)
+
+
+@pytest.fixture
+def model4() -> MeshLatencyModel:
+    return MeshLatencyModel(Mesh.square(4), LatencyParams.paper_figure5())
+
+
+@pytest.fixture
+def figure5_instance(model4) -> OBMInstance:
+    """The paper's Figure-5 worked example: 4 apps x 4 threads on 4x4."""
+    rates = [0.1, 0.2, 0.3, 0.4]
+    apps = tuple(
+        Application(f"app{i + 1}", rates, [0.0, 0.0, 0.0, 0.0]) for i in range(4)
+    )
+    return OBMInstance(model4, Workload(apps, name="fig5"))
+
+
+@pytest.fixture
+def small_instance() -> OBMInstance:
+    """A seeded random 4x4 instance with 2 apps of 8 threads each."""
+    rng = np.random.default_rng(42)
+    model = MeshLatencyModel(Mesh.square(4))
+    apps = (
+        Application("light", rng.uniform(0.5, 1.5, 8), rng.uniform(0.05, 0.2, 8)),
+        Application("heavy", rng.uniform(3.0, 6.0, 8), rng.uniform(0.3, 0.9, 8)),
+    )
+    return OBMInstance(model, Workload(apps, name="small"))
+
+
+@pytest.fixture
+def c1_instance() -> OBMInstance:
+    """The paper's C1 configuration on the canonical 8x8 chip."""
+    from repro.workloads.parsec import parsec_config
+
+    model = MeshLatencyModel(Mesh.square(8))
+    return OBMInstance(model, parsec_config("C1"))

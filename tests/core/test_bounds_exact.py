@@ -1,0 +1,117 @@
+"""Tests of the OBM lower bounds and the exact branch-and-bound solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import global_mapping
+from repro.core.bounds import max_apl_lower_bound
+from repro.core.exact import ExactSolverLimits, branch_and_bound
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+
+
+def random_instance(seed: int, rows: int = 3, cols: int = 3, n_apps: int = 2):
+    rng = np.random.default_rng(seed)
+    model = MeshLatencyModel(Mesh(rows, cols))
+    n = model.n_tiles
+    sizes = [n // n_apps] * n_apps
+    sizes[-1] += n - sum(sizes)
+    apps = tuple(
+        Application(f"a{i}", rng.uniform(0.2, 4, s), rng.uniform(0, 1, s))
+        for i, s in enumerate(sizes)
+    )
+    return OBMInstance(model, Workload(apps))
+
+
+def brute_force_opt(instance) -> float:
+    best = np.inf
+    for perm in itertools.permutations(range(instance.n)):
+        ev = instance.evaluate(Mapping(np.array(perm)))
+        best = min(best, ev.max_apl)
+    return best
+
+
+class TestLowerBound:
+    def test_bounds_below_brute_force_optimum(self):
+        for seed in range(6):
+            inst = random_instance(seed, rows=2, cols=4)
+            lb = max_apl_lower_bound(inst)
+            opt = brute_force_opt(inst)
+            assert lb.value <= opt + 1e-9
+            assert lb.mean_bound <= opt + 1e-9
+            assert lb.per_app_bound <= opt + 1e-9
+
+    def test_mean_bound_is_global_g_apl(self, small_instance):
+        lb = max_apl_lower_bound(small_instance)
+        glob = global_mapping(small_instance)
+        assert lb.mean_bound == pytest.approx(glob.g_apl)
+
+    def test_gap_computation(self, small_instance):
+        lb = max_apl_lower_bound(small_instance)
+        assert lb.gap(lb.value) == pytest.approx(0.0)
+        assert lb.gap(lb.value * 1.1) == pytest.approx(0.1)
+
+    def test_sss_certified_near_optimal_on_c1(self, c1_instance):
+        """The reproduction's quality certificate: SSS within 5% of the
+        lower bound on the paper's C1 configuration."""
+        lb = max_apl_lower_bound(c1_instance)
+        sss = sort_select_swap(c1_instance)
+        assert lb.gap(sss.max_apl) < 0.05
+
+    def test_per_app_optima_nonnegative(self, small_instance):
+        lb = max_apl_lower_bound(small_instance)
+        assert np.all(lb.per_app_optima >= 0)
+
+
+class TestBranchAndBound:
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            inst = random_instance(seed, rows=2, cols=4)
+            result = branch_and_bound(inst)
+            assert result.extra["proved_optimal"]
+            assert result.max_apl == pytest.approx(brute_force_opt(inst))
+
+    def test_warm_start_helps_and_preserves_optimum(self):
+        inst = random_instance(11, rows=3, cols=3)
+        cold = branch_and_bound(inst)
+        warm = branch_and_bound(inst, warm_start=sort_select_swap(inst).mapping)
+        assert warm.max_apl == pytest.approx(cold.max_apl)
+        assert warm.extra["nodes"] <= cold.extra["nodes"]
+
+    def test_sss_matches_exact_on_small_instances(self):
+        """On 3x3 instances SSS should be optimal or within ~2%."""
+        gaps = []
+        for seed in range(8):
+            inst = random_instance(seed + 100, rows=3, cols=3)
+            exact = branch_and_bound(inst)
+            sss = sort_select_swap(inst)
+            gaps.append(sss.max_apl / exact.max_apl - 1)
+        assert np.mean(gaps) < 0.02
+        assert max(gaps) < 0.08
+
+    def test_size_limit_enforced(self, c1_instance):
+        with pytest.raises(ValueError):
+            branch_and_bound(c1_instance)
+
+    def test_node_limit_returns_incumbent(self):
+        inst = random_instance(5, rows=3, cols=3)
+        limits = ExactSolverLimits(max_nodes=1, time_limit_seconds=60)
+        result = branch_and_bound(
+            inst, limits=limits, warm_start=Mapping(np.arange(inst.n))
+        )
+        # Not proved optimal, but a valid mapping comes back.
+        assert sorted(result.mapping.perm.tolist()) == list(range(inst.n))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_never_above_any_heuristic(self, seed):
+        inst = random_instance(seed, rows=2, cols=3)
+        exact = branch_and_bound(inst)
+        sss = sort_select_swap(inst)
+        assert exact.max_apl <= sss.max_apl + 1e-9

@@ -1,0 +1,117 @@
+"""Tests of the from-scratch Hungarian solver, cross-checked against SciPy."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.hungarian import solve_assignment
+
+
+def brute_force_min(cost: np.ndarray) -> float:
+    n, m = cost.shape
+    best = np.inf
+    for perm in itertools.permutations(range(m), n):
+        best = min(best, sum(cost[i, j] for i, j in enumerate(perm)))
+    return best
+
+
+class TestBasics:
+    def test_identity_optimal(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        res = solve_assignment(cost)
+        assert list(res.col_of_row) == [0, 1]
+        assert res.total_cost == 0.0
+
+    def test_single_cell(self):
+        res = solve_assignment(np.array([[7.0]]))
+        assert res.total_cost == 7.0
+        assert res.n_rows == 1
+
+    def test_known_3x3(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        res = solve_assignment(cost)
+        assert res.total_cost == pytest.approx(5.0)  # 1 + 2 + 2
+
+    def test_assignment_is_injective(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((10, 10))
+        res = solve_assignment(cost)
+        assert len(set(res.col_of_row.tolist())) == 10
+
+    def test_as_pairs(self):
+        res = solve_assignment(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert res.as_pairs() == [(0, 1), (1, 0)]
+
+    def test_negative_costs_supported(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        res = solve_assignment(cost)
+        assert res.total_cost == pytest.approx(-10.0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros((0, 3)))
+
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros((3, 2)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.array([[1.0, np.inf]]))
+        with pytest.raises(ValueError):
+            solve_assignment(np.array([[1.0, np.nan]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.array([1.0, 2.0]))
+
+
+class TestAgainstScipy:
+    @given(
+        n=st.integers(1, 12),
+        m_extra=st.integers(0, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scipy_optimum(self, n, m_extra, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n, n + m_extra)) * 100
+        ours = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert ours.total_cost == pytest.approx(cost[rows, cols].sum())
+
+    @given(n=st.integers(2, 8), seed=st.integers(0, 1_000))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_with_heavy_ties(self, n, seed):
+        """Degenerate costs (few distinct values) stress dual updates."""
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 3, size=(n, n)).astype(float)
+        ours = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert ours.total_cost == pytest.approx(cost[rows, cols].sum())
+
+    def test_matches_brute_force_small(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            cost = rng.random((4, 6))
+            assert solve_assignment(cost).total_cost == pytest.approx(
+                brute_force_min(cost)
+            )
+
+    def test_large_instance(self):
+        rng = np.random.default_rng(3)
+        cost = rng.random((64, 64))
+        ours = solve_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert ours.total_cost == pytest.approx(cost[rows, cols].sum())
+
+    def test_result_read_only(self):
+        res = solve_assignment(np.eye(3))
+        with pytest.raises(ValueError):
+            res.col_of_row[0] = 2

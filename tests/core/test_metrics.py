@@ -1,0 +1,160 @@
+"""Tests of the APL metrics (paper eq. 5 and Section III.A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    app_apls,
+    app_latency_sums,
+    dev_apl,
+    evaluate_mapping,
+    g_apl,
+    max_apl,
+    min_max_ratio,
+)
+from repro.core.workload import Application, Workload
+
+
+@pytest.fixture
+def wl():
+    return Workload(
+        (
+            Application("a", [1.0, 3.0], [0.5, 0.5]),
+            Application("b", [2.0, 2.0], [1.0, 0.0]),
+        )
+    )
+
+
+@pytest.fixture
+def arrays():
+    tc = np.array([10.0, 20.0, 30.0, 40.0])
+    tm = np.array([5.0, 4.0, 3.0, 2.0])
+    return tc, tm
+
+
+class TestEquation5:
+    def test_hand_computed_apl(self, wl, arrays):
+        """Verify eq. 5 against an explicit hand calculation."""
+        tc, tm = arrays
+        mapping = np.array([0, 1, 2, 3])
+        # app a: threads 0,1 -> tiles 0,1
+        #   latency = 1*10 + 0.5*5 + 3*20 + 0.5*4 = 74.5; volume = 5
+        # app b: threads 2,3 -> tiles 2,3
+        #   latency = 2*30 + 1*3 + 2*40 + 0*2 = 143; volume = 5
+        apls = app_apls(wl, mapping, tc, tm)
+        assert apls[0] == pytest.approx(74.5 / 5.0)
+        assert apls[1] == pytest.approx(143.0 / 5.0)
+
+    def test_latency_sums(self, wl, arrays):
+        tc, tm = arrays
+        sums = app_latency_sums(wl, np.array([0, 1, 2, 3]), tc, tm)
+        assert sums == pytest.approx([74.5, 143.0])
+
+    def test_mapping_changes_apl(self, wl, arrays):
+        tc, tm = arrays
+        a1 = app_apls(wl, np.array([0, 1, 2, 3]), tc, tm)
+        a2 = app_apls(wl, np.array([3, 2, 1, 0]), tc, tm)
+        assert a1[0] != a2[0]
+
+
+class TestAggregates:
+    def test_max_dev_g(self, wl, arrays):
+        tc, tm = arrays
+        mapping = np.array([0, 1, 2, 3])
+        apls = app_apls(wl, mapping, tc, tm)
+        assert max_apl(wl, mapping, tc, tm) == pytest.approx(apls.max())
+        assert dev_apl(wl, mapping, tc, tm) == pytest.approx(apls.std())
+        # g-APL = total latency / total volume, NOT mean of per-app APLs.
+        assert g_apl(wl, mapping, tc, tm) == pytest.approx((74.5 + 143.0) / 10.0)
+
+    def test_min_max_ratio(self, wl, arrays):
+        tc, tm = arrays
+        mapping = np.array([0, 1, 2, 3])
+        apls = app_apls(wl, mapping, tc, tm)
+        assert min_max_ratio(wl, mapping, tc, tm) == pytest.approx(
+            apls.min() / apls.max()
+        )
+
+    def test_equal_apls_give_zero_dev_and_unit_ratio(self, arrays):
+        tc, tm = arrays
+        wl = Workload(
+            (
+                Application("a", [1.0], [0.0]),
+                Application("b", [1.0], [0.0]),
+            )
+        )
+        mapping = np.array([0, 1])
+        tc_flat = np.array([10.0, 10.0])
+        tm_flat = np.zeros(2)
+        assert dev_apl(wl, mapping, tc_flat, tm_flat) == 0.0
+        assert min_max_ratio(wl, mapping, tc_flat, tm_flat) == 1.0
+
+
+class TestIdleApps:
+    def test_idle_app_excluded(self, arrays):
+        tc, tm = arrays
+        wl = Workload(
+            (
+                Application("real", [1.0, 1.0], [0.0, 0.0]),
+                Application("_idle", [0.0, 0.0], [0.0, 0.0]),
+            )
+        )
+        mapping = np.array([0, 1, 2, 3])
+        apls = app_apls(wl, mapping, tc, tm)
+        assert np.isnan(apls[1])
+        # Aggregates ignore the idle app instead of propagating NaN.
+        assert not np.isnan(max_apl(wl, mapping, tc, tm))
+        assert dev_apl(wl, mapping, tc, tm) == pytest.approx(0.0)
+
+    def test_all_idle_rejected(self, arrays):
+        tc, tm = arrays
+        wl = Workload((Application("_idle", [0.0, 0.0], [0.0, 0.0]),))
+        with pytest.raises(ValueError):
+            max_apl(wl, np.array([0, 1]), tc, tm)
+
+
+class TestEvaluateMapping:
+    def test_consistent_with_individual_metrics(self, wl, arrays):
+        tc, tm = arrays
+        mapping = np.array([2, 0, 3, 1])
+        ev = evaluate_mapping(wl, mapping, tc, tm)
+        assert ev.max_apl == pytest.approx(max_apl(wl, mapping, tc, tm))
+        assert ev.dev_apl == pytest.approx(dev_apl(wl, mapping, tc, tm))
+        assert ev.g_apl == pytest.approx(g_apl(wl, mapping, tc, tm))
+        assert ev.min_max_ratio == pytest.approx(min_max_ratio(wl, mapping, tc, tm))
+        assert np.allclose(ev.apls, app_apls(wl, mapping, tc, tm))
+
+    def test_str_renders(self, wl, arrays):
+        tc, tm = arrays
+        ev = evaluate_mapping(wl, np.array([0, 1, 2, 3]), tc, tm)
+        assert "max=" in str(ev)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_apl_invariance_under_within_app_permutation(self, seed):
+        """Permuting a mapping *within* one application's threads only
+        permutes which thread sits where; per-app APL is a rate-weighted
+        sum, so it must change consistently — and permuting threads
+        together with their tiles changes nothing."""
+        rng = np.random.default_rng(seed)
+        wl = Workload(
+            (
+                Application("a", rng.uniform(0.1, 5, 4), rng.uniform(0, 1, 4)),
+                Application("b", rng.uniform(0.1, 5, 4), rng.uniform(0, 1, 4)),
+            )
+        )
+        tc = rng.uniform(5, 30, 8)
+        tm = rng.uniform(0, 20, 8)
+        mapping = rng.permutation(8)
+        base = app_apls(wl, mapping, tc, tm)
+        # g-APL is invariant to which app labels threads carry, given the
+        # same thread->tile pairs.
+        assert g_apl(wl, mapping, tc, tm) == pytest.approx(
+            float(
+                (wl.cache_rates * tc[mapping] + wl.mem_rates * tm[mapping]).sum()
+                / (wl.cache_rates + wl.mem_rates).sum()
+            )
+        )
+        assert np.all(np.isfinite(base))

@@ -1,0 +1,177 @@
+"""Tests of Mapping, OBMInstance, and the NP-completeness reduction."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import (
+    Mapping,
+    OBMInstance,
+    obm_from_set_partition,
+    set_partition_from_mapping,
+)
+from repro.core.workload import Application, Workload
+
+
+class TestMapping:
+    def test_identity(self):
+        m = Mapping.identity(4)
+        assert m.n == 4
+        assert m.tile_of_thread(2) == 2
+        assert m.thread_on_tile(3) == 3
+
+    def test_inverse(self):
+        m = Mapping(np.array([2, 0, 1]))
+        assert list(m.inverse) == [1, 2, 0]
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping(np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            Mapping(np.array([0, 3]))
+        with pytest.raises(ValueError):
+            Mapping(np.array([-1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping(np.array([], dtype=int))
+
+    def test_swap_threads(self):
+        m = Mapping(np.array([0, 1, 2]))
+        s = m.with_swapped_threads(0, 2)
+        assert list(s.perm) == [2, 1, 0]
+        # original untouched
+        assert list(m.perm) == [0, 1, 2]
+
+    def test_compose_tiles(self):
+        m = Mapping(np.array([0, 1, 2, 3]))
+        rotated = m.compose_tiles({0: 1, 1: 2, 2: 0})
+        assert list(rotated.perm) == [1, 2, 0, 3]
+
+    def test_compose_tiles_non_permutation_rejected(self):
+        m = Mapping(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            m.compose_tiles({0: 1})
+
+    def test_perm_read_only(self):
+        m = Mapping.identity(3)
+        with pytest.raises(ValueError):
+            m.perm[0] = 1
+
+    def test_app_grid(self):
+        mesh = Mesh.square(2)
+        wl = Workload(
+            (
+                Application("a", [1.0, 1.0], [0.0, 0.0]),
+                Application("b", [1.0, 1.0], [0.0, 0.0]),
+            )
+        )
+        m = Mapping(np.array([0, 3, 1, 2]))
+        grid = m.app_grid(wl, mesh)
+        assert grid.tolist() == [[1, 2], [2, 1]]
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = Mapping(rng.permutation(n))
+        assert np.array_equal(m.perm[m.inverse], np.arange(n))
+        assert np.array_equal(m.inverse[m.perm], np.arange(n))
+
+
+class TestOBMInstance:
+    def test_padding_applied(self):
+        model = MeshLatencyModel(Mesh.square(2))
+        wl = Workload((Application("a", [1.0, 1.0], [0.1, 0.1]),))
+        inst = OBMInstance(model, wl)
+        assert inst.workload.n_threads == 4
+        assert inst.workload.applications[-1].is_idle
+
+    def test_oversized_workload_rejected(self):
+        model = MeshLatencyModel(Mesh.square(2))
+        wl = Workload((Application("a", [1.0] * 5, [0.0] * 5),))
+        with pytest.raises(ValueError):
+            OBMInstance(model, wl)
+
+    def test_cost_matrix_is_equation_13(self, small_instance):
+        inst = small_instance
+        wl = inst.workload
+        j, k = 3, 7
+        expected = wl.cache_rates[j] * inst.tc[k] + wl.mem_rates[j] * inst.tm[k]
+        assert inst.cost_matrix[j, k] == pytest.approx(expected)
+        assert inst.cost_matrix.shape == (inst.n, inst.n)
+
+    def test_evaluate_matches_cost_matrix_total(self, small_instance):
+        inst = small_instance
+        m = Mapping(np.arange(inst.n))
+        total_by_cost = inst.cost_matrix[np.arange(inst.n), m.perm].sum()
+        ev = inst.evaluate(m)
+        total_volume = inst.workload.app_volumes.sum()
+        assert ev.g_apl == pytest.approx(total_by_cost / total_volume)
+
+    def test_decide_predicate(self, small_instance):
+        inst = small_instance
+        m = Mapping(np.arange(inst.n))
+        ev = inst.evaluate(m)
+        assert inst.decide(m, ev.max_apl)  # threshold at the max: feasible
+        assert not inst.decide(m, ev.max_apl - 0.01)
+
+    def test_wrong_size_mapping_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.evaluate(Mapping(np.arange(4)))
+
+
+class TestSetPartitionReduction:
+    """Executable version of the paper's Section III.C proof."""
+
+    def brute_force_feasible(self, inst, gamma):
+        n = inst.n
+        for perm in itertools.permutations(range(n)):
+            if inst.decide(Mapping(np.array(perm)), gamma):
+                return Mapping(np.array(perm))
+        return None
+
+    def test_solvable_instance(self):
+        # {1,2,3,4,5,5}: halves {5,3,2} and {5,4,1} both sum to 10.
+        inst, gamma = obm_from_set_partition([1, 2, 3, 4, 5, 5])
+        assert gamma == pytest.approx(20 / 6)
+        mapping = self.brute_force_feasible(inst, gamma)
+        assert mapping is not None
+        a1, a2 = set_partition_from_mapping(mapping)
+        s = np.array([1, 2, 3, 4, 5, 5], dtype=float)
+        assert s[a1].sum() == pytest.approx(s[a2].sum())
+        assert len(a1) == len(a2) == 3
+
+    def test_unsolvable_instance(self):
+        # {1,1,1,5}: equal-size halves can at best split 4 vs 4? No:
+        # pairs are (1,1)|(1,5)=2|6, (1,5)|(1,1)... no equal split exists.
+        inst, gamma = obm_from_set_partition([1, 1, 1, 5])
+        assert self.brute_force_feasible(inst, gamma) is None
+
+    def test_reduction_structure(self):
+        inst, gamma = obm_from_set_partition([2, 4, 6, 8])
+        assert np.array_equal(inst.tc, [2, 4, 6, 8])
+        assert np.all(inst.tm == 0)
+        assert inst.workload.n_apps == 2
+        assert np.all(inst.workload.cache_rates == 1.0)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            obm_from_set_partition([1, 2, 3])
+
+    @given(
+        half=st.lists(st.integers(1, 20), min_size=2, max_size=3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_constructed_solvable_instances_verify(self, half, seed):
+        """Any multiset built as two equal-sum halves must be feasible."""
+        rng = np.random.default_rng(seed)
+        s = list(half) + list(half)  # trivially partitionable
+        rng.shuffle(s)
+        inst, gamma = obm_from_set_partition(s)
+        assert self.brute_force_feasible(inst, gamma) is not None

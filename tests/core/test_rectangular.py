@@ -1,0 +1,98 @@
+"""Non-square meshes and cross-implementation metric consistency.
+
+The paper evaluates an 8x8 chip, but nothing in the formulation requires
+a square mesh; these tests pin down that the whole stack — latency model,
+algorithms, batched metric evaluation — generalises.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import _batched_metrics, global_mapping
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.metrics import evaluate_mapping
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+
+
+def rect_instance(rows=4, cols=8, seed=0):
+    rng = np.random.default_rng(seed)
+    mesh = Mesh(rows, cols)
+    model = MeshLatencyModel(
+        mesh,
+        mc_tiles=(
+            mesh.tile(0, 0),
+            mesh.tile(0, cols - 1),
+            mesh.tile(rows - 1, 0),
+            mesh.tile(rows - 1, cols - 1),
+        ),
+    )
+    n = mesh.n_tiles
+    apps = tuple(
+        Application(f"a{i}", rng.uniform(0.2, 4, n // 4), rng.uniform(0, 1, n // 4))
+        for i in range(4)
+    )
+    return OBMInstance(model, Workload(apps))
+
+
+class TestRectangularMesh:
+    def test_latency_arrays_shapes(self):
+        inst = rect_instance()
+        assert inst.tc.shape == (32,)
+        assert inst.tm.shape == (32,)
+        # Middle tiles still have the lowest cache latency.
+        grid = inst.model.tc_grid()
+        assert grid[2, 4] < grid[0, 0]
+
+    def test_mem_hops_from_corners(self):
+        inst = rect_instance(rows=3, cols=5)
+        # Corner tiles have HM = 0; the centre tile the full quadrant walk.
+        for mc in inst.model.mc_tiles:
+            assert inst.model.mem_hops[mc] == 0
+
+    def test_sss_on_rectangle(self):
+        inst = rect_instance()
+        result = sort_select_swap(inst)
+        assert sorted(result.mapping.perm.tolist()) == list(range(32))
+        glob = global_mapping(inst)
+        assert result.max_apl <= glob.max_apl + 1e-9
+
+    def test_sss_beats_global_balance_on_rectangle(self):
+        inst = rect_instance(seed=3)
+        sss = sort_select_swap(inst)
+        glob = global_mapping(inst)
+        assert sss.dev_apl < glob.dev_apl
+
+    @pytest.mark.parametrize("rows,cols", [(2, 8), (8, 2), (3, 5), (1, 16)])
+    def test_various_shapes(self, rows, cols):
+        mesh = Mesh(rows, cols)
+        model = MeshLatencyModel(mesh, mc_tiles=(0, mesh.n_tiles - 1))
+        rng = np.random.default_rng(rows * 100 + cols)
+        n = mesh.n_tiles
+        apps = (
+            Application("a", rng.uniform(0.5, 2, n // 2), rng.uniform(0, 0.5, n // 2)),
+            Application("b", rng.uniform(0.5, 2, n - n // 2), rng.uniform(0, 0.5, n - n // 2)),
+        )
+        inst = OBMInstance(model, Workload(apps))
+        result = sort_select_swap(inst)
+        assert sorted(result.mapping.perm.tolist()) == list(range(n))
+
+
+class TestBatchedMetricsConsistency:
+    @given(seed=st.integers(0, 5_000), batch=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_batched_equals_scalar_evaluation(self, seed, batch):
+        """The vectorised MC/GA fitness path must agree exactly with the
+        scalar evaluator on arbitrary permutations."""
+        inst = rect_instance(seed=seed % 7)
+        rng = np.random.default_rng(seed)
+        perms = np.array([rng.permutation(inst.n) for _ in range(batch)])
+        max_b, dev_b, g_b = _batched_metrics(inst, perms)
+        for i, perm in enumerate(perms):
+            ev = evaluate_mapping(inst.workload, perm, inst.tc, inst.tm)
+            assert max_b[i] == pytest.approx(ev.max_apl)
+            assert dev_b[i] == pytest.approx(ev.dev_apl)
+            assert g_b[i] == pytest.approx(ev.g_apl)

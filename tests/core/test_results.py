@@ -1,0 +1,54 @@
+"""Tests of the MappingResult container and algorithm-facing contracts."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import global_mapping, random_mapping
+from repro.core.results import MappingResult
+from repro.core.sss import sort_select_swap
+
+
+class TestMappingResult:
+    def test_metric_shortcuts(self, small_instance):
+        r = global_mapping(small_instance)
+        assert r.max_apl == r.evaluation.max_apl
+        assert r.dev_apl == r.evaluation.dev_apl
+        assert r.g_apl == r.evaluation.g_apl
+
+    def test_str_contains_essentials(self, small_instance):
+        r = random_mapping(small_instance, seed=0)
+        text = str(r)
+        assert "Random" in text
+        assert "max-APL" in text
+        assert "ms" in text
+
+    def test_extra_defaults_empty(self, small_instance):
+        r = random_mapping(small_instance, seed=0)
+        assert isinstance(r.extra, dict)
+
+    def test_runtime_nonnegative_for_all_algorithms(self, small_instance):
+        for result in (
+            global_mapping(small_instance),
+            random_mapping(small_instance, seed=1),
+            sort_select_swap(small_instance),
+        ):
+            assert result.runtime_seconds >= 0
+
+    def test_results_immutable_mapping(self, small_instance):
+        r = sort_select_swap(small_instance)
+        with pytest.raises(ValueError):
+            r.mapping.perm[0] = 5
+
+    def test_evaluation_matches_fresh_computation(self, small_instance):
+        """Algorithms must return evaluations consistent with re-evaluating
+        their mapping on the instance — no stale incremental state."""
+        for result in (
+            global_mapping(small_instance),
+            sort_select_swap(small_instance),
+        ):
+            fresh = small_instance.evaluate(result.mapping)
+            assert result.max_apl == pytest.approx(fresh.max_apl)
+            assert result.g_apl == pytest.approx(fresh.g_apl)
+            assert np.allclose(
+                result.evaluation.apls, fresh.apls, equal_nan=True
+            )

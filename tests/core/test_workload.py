@@ -1,0 +1,135 @@
+"""Tests of the Application/Workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import Application, Workload
+
+
+def make_workload():
+    return Workload(
+        (
+            Application("a", [1.0, 2.0], [0.1, 0.2]),
+            Application("b", [3.0, 4.0, 5.0], [0.3, 0.4, 0.5]),
+        ),
+        name="wl",
+    )
+
+
+class TestApplication:
+    def test_basic_properties(self):
+        app = Application("x", [1.0, 2.0], [0.5, 0.5])
+        assert app.n_threads == 2
+        assert app.total_rate == pytest.approx(4.0)
+        assert not app.is_idle
+        assert app.cache_to_mem_ratio == pytest.approx(3.0)
+
+    def test_zero_memory_ratio_infinite(self):
+        app = Application("x", [1.0], [0.0])
+        assert app.cache_to_mem_ratio == float("inf")
+
+    def test_idle(self):
+        app = Application("idle", [0.0, 0.0], [0.0, 0.0])
+        assert app.is_idle
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", [1.0, 2.0], [0.1])
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", [-1.0], [0.0])
+
+    def test_nan_rates_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", [float("nan")], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", [], [])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", [[1.0]], [[0.1]])
+
+    def test_rates_read_only(self):
+        app = Application("x", [1.0], [0.1])
+        with pytest.raises(ValueError):
+            app.cache_rates[0] = 5.0
+
+    def test_uniform_constructor(self):
+        app = Application.uniform("u", 4, 2.0, 0.5)
+        assert np.all(app.cache_rates == 2.0)
+        assert np.all(app.mem_rates == 0.5)
+
+
+class TestWorkload:
+    def test_thread_indexing_matches_paper(self):
+        """Application i owns threads N_{i-1}..N_i-1 (paper Section III.B)."""
+        wl = make_workload()
+        assert wl.n_threads == 5
+        assert list(wl.boundaries) == [0, 2, 5]
+        assert wl.thread_slice(0) == slice(0, 2)
+        assert wl.thread_slice(1) == slice(2, 5)
+        assert list(wl.app_of_thread) == [0, 0, 1, 1, 1]
+
+    def test_concatenated_rates(self):
+        wl = make_workload()
+        assert list(wl.cache_rates) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert list(wl.mem_rates) == [0.1, 0.2, 0.3, 0.4, 0.5]
+
+    def test_app_volumes(self):
+        wl = make_workload()
+        assert wl.app_volumes == pytest.approx([3.3, 13.2])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                (Application("a", [1.0], [0.0]), Application("a", [1.0], [0.0]))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(())
+
+    def test_padding_adds_idle_app(self):
+        wl = make_workload().padded_to(8)
+        assert wl.n_threads == 8
+        assert wl.applications[-1].is_idle
+        assert list(wl.active_apps) == [0, 1]
+
+    def test_padding_noop_when_full(self):
+        wl = make_workload()
+        assert wl.padded_to(5) is wl
+
+    def test_padding_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload().padded_to(3)
+
+    def test_without_idle_roundtrip(self):
+        wl = make_workload()
+        padded = wl.padded_to(10)
+        restored = padded.without_idle()
+        assert restored.n_apps == wl.n_apps
+        assert restored.n_threads == wl.n_threads
+
+    def test_sorted_by_traffic(self):
+        wl = Workload(
+            (
+                Application("heavy", [10.0], [1.0]),
+                Application("light", [1.0], [0.1]),
+            )
+        ).sorted_by_traffic()
+        assert wl.applications[0].name == "light"
+        assert wl.applications[1].name == "heavy"
+
+    def test_summary_mentions_every_app(self):
+        text = make_workload().summary()
+        assert "a:" in text and "b:" in text
+
+    def test_arrays_read_only(self):
+        wl = make_workload()
+        with pytest.raises(ValueError):
+            wl.cache_rates[0] = 9.0
+        with pytest.raises(ValueError):
+            wl.boundaries[0] = 1

@@ -1,0 +1,38 @@
+"""Tests of batch artifact generation."""
+
+import json
+
+import pytest
+
+from repro.experiments.artifacts import write_artifacts
+
+
+class TestWriteArtifacts:
+    def test_writes_text_json_and_index(self, tmp_path):
+        written = write_artifacts(tmp_path, ["table2", "fig3", "fig5"], fast=True)
+        assert set(written) == {"table2", "fig3", "fig5"}
+        for experiment_id, path in written.items():
+            assert path.exists()
+            json_path = tmp_path / f"{experiment_id}.json"
+            doc = json.loads(json_path.read_text())
+            assert doc["experiment_id"] == experiment_id
+            json.dumps(doc)  # fully JSON-representable
+        index = (tmp_path / "INDEX.txt").read_text()
+        assert "table2" in index and "fig5" in index
+
+    def test_numpy_values_serialised(self, tmp_path):
+        write_artifacts(tmp_path, ["fig3"], fast=True)
+        doc = json.loads((tmp_path / "fig3.json").read_text())
+        tc = doc["data"]["tc"]
+        assert isinstance(tc, list) and isinstance(tc[0], list)
+        assert tc[0][0] > tc[3][3]  # corner TC > centre TC survives the trip
+
+    def test_unknown_id_rejected_before_running(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_artifacts(tmp_path, ["fig99"])
+        assert not (tmp_path / "INDEX.txt").exists()
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "artifacts"
+        write_artifacts(target, ["table2"])
+        assert (target / "table2.txt").exists()

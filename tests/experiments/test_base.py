@@ -1,0 +1,53 @@
+"""Tests of the shared experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import (
+    ALGORITHM_ORDER,
+    run_algorithms,
+    standard_instance,
+    standard_model,
+)
+
+
+class TestStandardSetup:
+    def test_standard_model_is_canonical(self):
+        model = standard_model()
+        assert model.n_tiles == 64
+        assert model.mc_tiles == (0, 7, 56, 63)
+
+    def test_standard_instance_threads_scale_with_mesh(self):
+        inst = standard_instance("C1", model=standard_model(4))
+        assert inst.n == 16
+        assert inst.workload.n_apps == 4
+
+    def test_instances_deterministic(self):
+        a = standard_instance("C3")
+        b = standard_instance("C3")
+        assert np.array_equal(a.workload.cache_rates, b.workload.cache_rates)
+
+
+class TestRunAlgorithms:
+    def test_subset_selection(self):
+        inst = standard_instance("C2", model=standard_model(4))
+        results = run_algorithms(inst, fast=True, algorithms=("Global", "SSS"))
+        assert set(results) == {"Global", "SSS"}
+
+    def test_unknown_algorithm_rejected(self):
+        inst = standard_instance("C2", model=standard_model(4))
+        with pytest.raises(ValueError):
+            run_algorithms(inst, algorithms=("Quantum",))
+
+    def test_all_four_run_fast(self):
+        inst = standard_instance("C2", model=standard_model(4))
+        results = run_algorithms(inst, fast=True, seed_tag="t")
+        assert set(results) == set(ALGORITHM_ORDER)
+        for r in results.values():
+            assert sorted(r.mapping.perm.tolist()) == list(range(16))
+
+    def test_seed_tag_changes_stochastic_results(self):
+        inst = standard_instance("C2", model=standard_model(4))
+        a = run_algorithms(inst, fast=True, seed_tag="x", algorithms=("MC",))["MC"]
+        b = run_algorithms(inst, fast=True, seed_tag="y", algorithms=("MC",))["MC"]
+        assert not np.array_equal(a.mapping.perm, b.mapping.perm)

@@ -1,0 +1,27 @@
+"""Tests of the experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "10.3375" in out
+
+    def test_fast_flag(self, capsys):
+        assert main(["table2", "--fast"]) == 0
+        assert "8x8 mesh" in capsys.readouterr().out
+
+    def test_output_dir(self, capsys, tmp_path):
+        target = tmp_path / "artifacts"
+        assert main(["fig3", "--output-dir", str(target)]) == 0
+        assert (target / "fig3.txt").exists()
+        assert (target / "fig3.json").exists()
+        assert (target / "INDEX.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

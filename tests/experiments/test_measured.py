@@ -1,0 +1,31 @@
+"""Tests of the cycle-measured APL comparison harness."""
+
+import pytest
+
+from repro.experiments.measured import measured_apl_comparison
+
+
+@pytest.mark.slow
+class TestMeasuredComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return measured_apl_comparison("C1", fast=True, cycles=4_000)
+
+    def test_ordering_survives_measurement(self, report):
+        """SSS must beat Global on *measured* max-APL and dev-APL too."""
+        glob = report.data["Global"]
+        sss = report.data["SSS"]
+        assert sss["measured_max"] < glob["measured_max"]
+        assert sss["measured_dev"] < glob["measured_dev"]
+
+    def test_measured_tracks_analytic(self, report):
+        """Measured values exceed analytic by a bounded convention offset
+        (destination pipeline + reply serialization), not arbitrarily."""
+        for alg in ("Global", "SSS"):
+            d = report.data[alg]
+            offset = d["measured_max"] - d["analytic_max"]
+            assert 0 < offset < 8
+
+    def test_per_app_measurements_present(self, report):
+        assert len(report.data["SSS"]["measured_by_app"]) == 4
+        assert "measured APL" in report.text

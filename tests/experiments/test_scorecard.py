@@ -1,0 +1,20 @@
+"""Tests of the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import CLAIMS, run_scorecard
+
+
+class TestScorecard:
+    def test_claims_cover_all_quantitative_artifacts(self):
+        artifacts = {c.artifact for c in CLAIMS}
+        assert {"table1", "table3", "table4", "fig5", "fig8", "fig9",
+                "fig10", "fig11", "fig12"} <= artifacts
+
+    @pytest.mark.slow
+    def test_all_claims_pass_fast(self):
+        report = run_scorecard(fast=True)
+        failed = [r for r in report.data["rows"] if r[2] == "FAIL"]
+        assert not failed, f"claims failed: {failed}"
+        assert report.data["passed"] == report.data["total"]
+        assert "reproduction scorecard" in report.text

@@ -1,0 +1,27 @@
+"""Tests of the robustness-study harnesses."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    latency_param_sensitivity,
+    seed_sensitivity,
+)
+
+
+@pytest.mark.slow
+class TestSeedSensitivity:
+    def test_gains_persist_across_seeds(self):
+        report = seed_sensitivity(config_names=("C1", "C3"), n_seeds=3)
+        assert report.data["max_gain_mean"] > 0.04
+        assert report.data["max_gain_min"] > 0.0  # SSS never loses to Global
+        assert report.data["dev_gain_mean"] > 0.9
+        assert "workload redraws" in report.text
+
+
+@pytest.mark.slow
+class TestParamSensitivity:
+    def test_gains_persist_across_timing(self):
+        report = latency_param_sensitivity("C2")
+        for (td_q, td_s), cell in report.data.items():
+            assert cell["gain"] > 0.0, f"SSS lost at td_q={td_q}, td_s={td_s}"
+            assert cell["dev_ratio"] < 0.1

@@ -1,0 +1,86 @@
+"""Tests of the closed-loop (blocking-thread) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.workload import Application, Workload
+from repro.noc.closedloop import (
+    ClosedLoopConfig,
+    ClosedLoopSimulator,
+)
+
+
+@pytest.fixture
+def instance():
+    model = MeshLatencyModel(Mesh.square(4))
+    apps = (
+        Application.uniform("a", 8, cache_rate=8.0, mem_rate=1.0),
+        Application.uniform("b", 8, cache_rate=8.0, mem_rate=1.0),
+    )
+    return OBMInstance(model, Workload(apps))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedLoopConfig(mshrs_per_thread=0)
+        with pytest.raises(ValueError):
+            ClosedLoopConfig(cycles_per_unit=0)
+        with pytest.raises(ValueError):
+            ClosedLoopConfig(l2_latency=-1)
+
+
+class TestClosedLoop:
+    def test_progress_and_latency_recorded(self, instance):
+        sim = ClosedLoopSimulator(instance, Mapping(np.arange(16)), seed=0)
+        result = sim.run(4_000)
+        assert result.completed.sum() > 50
+        assert set(result.apl_by_app) == {0, 1}
+        for apl in result.apl_by_app.values():
+            # Round trip >= two zero-load traversals + L2 latency.
+            assert apl > 10
+        for progress in result.progress_by_app.values():
+            assert 0 < progress <= 1.3  # achieved close to offered, not above much
+
+    def test_outstanding_bounded_by_mshrs(self, instance):
+        config = ClosedLoopConfig(mshrs_per_thread=2)
+        sim = ClosedLoopSimulator(instance, Mapping(np.arange(16)), config, seed=1)
+        sim.run(1_500)
+        for state in sim.states.values():
+            assert 0 <= state.outstanding <= 2
+
+    def test_memory_latency_visible_in_round_trips(self, instance):
+        """With memory-only traffic the round trip must include the DRAM
+        latency."""
+        model = instance.model
+        apps = (Application.uniform("m", 16, cache_rate=0.0, mem_rate=4.0),)
+        inst = OBMInstance(model, Workload(apps))
+        sim = ClosedLoopSimulator(inst, Mapping(np.arange(16)), seed=2)
+        result = sim.run(4_000)
+        assert result.apl_by_app[0] > 128
+
+    def test_deterministic(self, instance):
+        a = ClosedLoopSimulator(instance, Mapping(np.arange(16)), seed=5).run(2_000)
+        b = ClosedLoopSimulator(instance, Mapping(np.arange(16)), seed=5).run(2_000)
+        assert np.array_equal(a.completed, b.completed)
+
+    def test_invalid_cycles(self, instance):
+        sim = ClosedLoopSimulator(instance, Mapping(np.arange(16)), seed=0)
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_throughput_tracks_rates(self, instance):
+        """A heavier app completes proportionally more requests."""
+        model = instance.model
+        apps = (
+            Application.uniform("slow", 8, cache_rate=4.0, mem_rate=0.5),
+            Application.uniform("fast", 8, cache_rate=16.0, mem_rate=2.0),
+        )
+        inst = OBMInstance(model, Workload(apps))
+        sim = ClosedLoopSimulator(inst, Mapping(np.arange(16)), seed=3)
+        result = sim.run(6_000)
+        assert result.throughput_by_app[1] > 2 * result.throughput_by_app[0]
+        # ...but normalised progress is comparable (both unsaturated).
+        assert result.progress_spread() < 0.4

@@ -1,0 +1,182 @@
+"""End-to-end tests of the cycle-level network: timing, conservation,
+wormhole semantics, deadlock freedom."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.network import Network, NetworkConfig
+from repro.noc.packet import Packet, TrafficClass
+from repro.noc.router import RouterConfig
+
+
+def send_one(net: Network, src: int, dst: int, cls=TrafficClass.CACHE_REQUEST):
+    p = Packet(src=src, dst=dst, traffic_class=cls, created_at=net.now)
+    net.submit(p)
+    net.drain()
+    return p
+
+
+class TestZeroLoadLatency:
+    def test_single_flit_latency_formula(self):
+        """Uncontended: latency = hops*(pipeline+link) + pipeline.
+
+        With the Table 2 3-stage router and 1-cycle links: 4H + 3.
+        """
+        mesh = Mesh.square(8)
+        net = Network(mesh)
+        for dst in (1, 7, 63, 36):
+            p = send_one(net, 0, dst)
+            hops = mesh.hops(0, dst)
+            assert p.latency == 4 * hops + 3
+
+    def test_multi_flit_serialization(self):
+        """A 5-flit packet's tail trails the head by 4 cycles."""
+        mesh = Mesh.square(4)
+        net = Network(mesh)
+        p = send_one(net, 0, 15, TrafficClass.CACHE_REPLY)
+        assert p.latency == 4 * 6 + 3 + 4
+
+    def test_local_packet_bypasses_network(self):
+        net = Network(Mesh.square(4))
+        p = Packet(src=5, dst=5, traffic_class=TrafficClass.CACHE_REQUEST, created_at=net.now)
+        net.submit(p)
+        assert p.latency == 0
+        assert net.flits_injected == 0
+
+    def test_custom_pipeline_depth(self):
+        config = NetworkConfig(router=RouterConfig(pipeline_depth=2))
+        net = Network(Mesh.square(4), config)
+        p = send_one(net, 0, 3)
+        assert p.latency == 3 * 3 + 2  # hops*(2+1) + 2
+
+
+class TestConservation:
+    def test_flit_conservation_after_drain(self):
+        net = Network(Mesh.square(4))
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            src, dst = rng.integers(16, size=2)
+            cls = TrafficClass.CACHE_REPLY if rng.random() < 0.3 else TrafficClass.CACHE_REQUEST
+            net.submit(Packet(int(src), int(dst), cls, net.now))
+            if rng.random() < 0.5:
+                net.step()
+        net.drain()
+        net.assert_conserved()
+        assert net.in_flight_flits == 0
+
+    def test_all_packets_delivered(self):
+        net = Network(Mesh.square(4))
+        packets = []
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            src, dst = rng.integers(16, size=2)
+            p = Packet(int(src), int(dst), TrafficClass.CACHE_REQUEST, net.now)
+            packets.append(p)
+            net.submit(p)
+        net.drain()
+        assert len(net.delivered) == 100
+        for p in packets:
+            assert p.ejected_at is not None
+
+
+class TestWormholeSemantics:
+    def test_flits_arrive_in_order(self):
+        """Tail must not overtake head; per-packet flit order is preserved
+        implicitly by delivery completing exactly when the tail arrives."""
+        net = Network(Mesh.square(4))
+        p = send_one(net, 0, 12, TrafficClass.MEM_REPLY)
+        assert p.ejected_at is not None
+        assert p.ejected_at - p.injected_at >= 4  # >= serialization alone
+
+    def test_interleaved_packets_same_route(self):
+        net = Network(Mesh.square(4))
+        ps = [
+            Packet(0, 3, TrafficClass.CACHE_REPLY, net.now) for _ in range(4)
+        ]
+        for p in ps:
+            net.submit(p)
+        net.drain()
+        assert all(p.ejected_at is not None for p in ps)
+        # One injection link: packets serialise, later ones queue longer.
+        latencies = [p.latency for p in ps]
+        assert latencies == sorted(latencies)
+
+
+class TestContention:
+    def test_hotspot_queuing_increases_latency(self):
+        """Many sources hammering one destination must see queueing."""
+        mesh = Mesh.square(4)
+        net = Network(mesh)
+        zero_load = 4 * mesh.hops(0, 5) + 3
+        ps = []
+        for src in (0, 2, 8, 10, 12, 14):
+            for _ in range(5):
+                p = Packet(src, 5, TrafficClass.CACHE_REPLY, net.now)
+                ps.append(p)
+                net.submit(p)
+        net.drain()
+        assert max(p.latency for p in ps) > zero_load
+
+    def test_no_deadlock_under_heavy_random_load(self):
+        """XY routing on a mesh is deadlock-free; heavy random traffic must
+        always drain."""
+        mesh = Mesh.square(4)
+        net = Network(mesh)
+        rng = np.random.default_rng(42)
+        for cycle in range(300):
+            for src in range(16):
+                if rng.random() < 0.2:
+                    dst = int(rng.integers(16))
+                    if dst != src:
+                        cls = (
+                            TrafficClass.CACHE_REPLY
+                            if rng.random() < 0.5
+                            else TrafficClass.CACHE_REQUEST
+                        )
+                        net.submit(Packet(src, dst, cls, net.now))
+            net.step()
+        net.drain(max_cycles=50_000)
+        net.assert_conserved()
+
+    def test_credits_never_overflow_buffers(self):
+        """Stress the credit protocol: receive_flit raises on overflow."""
+        mesh = Mesh.square(3)
+        net = Network(mesh)
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            src, dst = rng.integers(9, size=2)
+            if src != dst:
+                net.submit(Packet(int(src), int(dst), TrafficClass.MEM_REPLY, net.now))
+            net.step()
+        net.drain(max_cycles=100_000)  # no RuntimeError = credits held
+
+
+class TestDrain:
+    def test_drain_detects_stuck_network(self):
+        net = Network(Mesh.square(2))
+        net.submit(Packet(0, 3, TrafficClass.CACHE_REQUEST, 0))
+        with pytest.raises(RuntimeError):
+            net.drain(max_cycles=0)
+
+    def test_drain_idempotent(self):
+        net = Network(Mesh.square(2))
+        net.drain()
+        net.drain()
+        assert net.delivered == []
+
+
+class TestMisdelivery:
+    def test_eject_wrong_tile_raises(self):
+        from repro.noc.network import NetworkInterface
+        from repro.noc.packet import Flit
+        from repro.noc.router import Router, RouterConfig
+        from repro.noc.routing import xy_route
+
+        mesh = Mesh.square(2)
+        router = Router(0, RouterConfig(), lambda t, d: xy_route(mesh, t, d))
+        ni = NetworkInterface(0, router)
+        p = Packet(1, 3, TrafficClass.CACHE_REQUEST, 0)
+        (flit,) = p.flits()
+        with pytest.raises(RuntimeError):
+            ni.eject(flit, now=0)

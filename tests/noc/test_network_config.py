@@ -1,0 +1,70 @@
+"""Edge cases of network configuration: link latency, buffer pressure."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.network import Network, NetworkConfig
+from repro.noc.packet import Packet, TrafficClass
+from repro.noc.router import RouterConfig
+
+
+class TestLinkLatency:
+    def test_two_cycle_links_change_slope(self):
+        config = NetworkConfig(link_latency=2)
+        net = Network(Mesh.square(4), config)
+        p = Packet(0, 3, TrafficClass.CACHE_REQUEST, net.now)
+        net.submit(p)
+        net.drain()
+        # per-hop = pipeline(3) + link(2) = 5; plus source pipeline 3.
+        assert p.latency == 3 * 5 + 3
+
+    def test_invalid_link_latency(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(link_latency=0)
+
+
+class TestBufferPressure:
+    def test_single_flit_buffers_still_deliver(self):
+        """Minimum buffering forces per-hop stalls but must stay correct."""
+        config = NetworkConfig(router=RouterConfig(buffer_depth=1))
+        net = Network(Mesh.square(3), config)
+        packets = []
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            src, dst = rng.integers(9, size=2)
+            if src == dst:
+                continue
+            p = Packet(int(src), int(dst), TrafficClass.CACHE_REPLY, net.now)
+            packets.append(p)
+            net.submit(p)
+            net.step()
+        net.drain(max_cycles=100_000)
+        net.assert_conserved()
+        assert all(p.ejected_at is not None for p in packets)
+
+    def test_single_vc_network(self):
+        config = NetworkConfig(router=RouterConfig(vcs_per_port=1))
+        net = Network(Mesh.square(3), config)
+        for i in range(10):
+            net.submit(Packet(0, 8, TrafficClass.CACHE_REPLY, net.now))
+            net.step()
+        net.drain()
+        net.assert_conserved()
+        assert len(net.delivered) == 10
+
+
+class TestIdleEfficiency:
+    def test_idle_network_steps_cheaply(self):
+        """No-traffic steps must not accumulate state or activity."""
+        net = Network(Mesh.square(8))
+        net.run(1_000)
+        assert net.flits_injected == 0
+        assert net.in_flight_flits == 0
+        assert not net._active
+
+    def test_activity_set_shrinks_after_drain(self):
+        net = Network(Mesh.square(4))
+        net.submit(Packet(0, 15, TrafficClass.CACHE_REPLY, net.now))
+        net.drain()
+        assert not net._active

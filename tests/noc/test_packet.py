@@ -1,0 +1,82 @@
+"""Tests of packet/flit segmentation and latency accounting."""
+
+import pytest
+
+from repro.noc.packet import (
+    FLIT_KIND_BODY,
+    FLIT_KIND_HEAD,
+    FLIT_KIND_TAIL,
+    Packet,
+    TrafficClass,
+)
+
+
+class TestTrafficClass:
+    def test_default_lengths_match_table2(self):
+        """Short 16-bit packets are single-flit; 64-B data packets are 5."""
+        assert TrafficClass.CACHE_REQUEST.default_length == 1
+        assert TrafficClass.MEM_REQUEST.default_length == 1
+        assert TrafficClass.CACHE_REPLY.default_length == 5
+        assert TrafficClass.MEM_REPLY.default_length == 5
+
+    def test_predicates(self):
+        assert TrafficClass.CACHE_REPLY.is_reply
+        assert not TrafficClass.CACHE_REQUEST.is_reply
+        assert TrafficClass.MEM_REQUEST.is_memory
+        assert not TrafficClass.CACHE_REQUEST.is_memory
+
+
+class TestPacket:
+    def test_default_length_from_class(self):
+        p = Packet(src=0, dst=1, traffic_class=TrafficClass.CACHE_REPLY, created_at=0)
+        assert p.length == 5
+
+    def test_explicit_length(self):
+        p = Packet(0, 1, TrafficClass.CACHE_REQUEST, 0, length=3)
+        assert p.length == 3
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, TrafficClass.CACHE_REQUEST, 0, length=0)
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            Packet(-1, 1, TrafficClass.CACHE_REQUEST, 0)
+
+    def test_unique_pids(self):
+        a = Packet(0, 1, TrafficClass.CACHE_REQUEST, 0)
+        b = Packet(0, 1, TrafficClass.CACHE_REQUEST, 0)
+        assert a.pid != b.pid
+
+    def test_latency_requires_delivery(self):
+        p = Packet(0, 1, TrafficClass.CACHE_REQUEST, 0)
+        with pytest.raises(ValueError):
+            _ = p.latency
+        p.injected_at = 2
+        p.ejected_at = 10
+        assert p.latency == 10
+        assert p.network_latency == 8
+
+
+class TestFlitSegmentation:
+    def test_multiflit_kinds(self):
+        p = Packet(0, 1, TrafficClass.CACHE_REPLY, 0)
+        flits = p.flits()
+        assert len(flits) == 5
+        assert flits[0].kind == FLIT_KIND_HEAD and flits[0].is_head
+        assert all(f.kind == FLIT_KIND_BODY for f in flits[1:4])
+        assert flits[4].kind == FLIT_KIND_TAIL and flits[4].is_tail
+
+    def test_single_flit_is_head_and_tail(self):
+        p = Packet(0, 1, TrafficClass.CACHE_REQUEST, 0)
+        (flit,) = p.flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flit_indices(self):
+        p = Packet(0, 1, TrafficClass.MEM_REPLY, 0)
+        assert [f.index for f in p.flits()] == [0, 1, 2, 3, 4]
+
+    def test_flits_reference_packet(self):
+        p = Packet(3, 9, TrafficClass.CACHE_REQUEST, 0)
+        (flit,) = p.flits()
+        assert flit.packet is p

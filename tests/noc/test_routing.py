@@ -1,0 +1,97 @@
+"""Tests of XY routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import Mesh
+from repro.noc.routing import Port, next_tile, route_path, xy_route
+
+
+class TestPort:
+    def test_opposites(self):
+        assert Port.EAST.opposite == Port.WEST
+        assert Port.NORTH.opposite == Port.SOUTH
+        assert Port.LOCAL.opposite == Port.LOCAL
+
+
+class TestXYRoute:
+    def test_local_at_destination(self):
+        mesh = Mesh.square(4)
+        assert xy_route(mesh, 5, 5) == Port.LOCAL
+
+    def test_x_resolved_first(self):
+        mesh = Mesh.square(4)
+        # from (0,0) to (3,3): go EAST until column matches.
+        assert xy_route(mesh, 0, 15) == Port.EAST
+        # same column, below: SOUTH.
+        assert xy_route(mesh, 3, 15) == Port.SOUTH
+
+    def test_all_directions(self):
+        mesh = Mesh.square(3)
+        centre = mesh.tile(1, 1)
+        assert xy_route(mesh, centre, mesh.tile(1, 2)) == Port.EAST
+        assert xy_route(mesh, centre, mesh.tile(1, 0)) == Port.WEST
+        assert xy_route(mesh, centre, mesh.tile(0, 1)) == Port.NORTH
+        assert xy_route(mesh, centre, mesh.tile(2, 1)) == Port.SOUTH
+
+
+class TestNextTile:
+    def test_moves(self):
+        mesh = Mesh.square(3)
+        assert next_tile(mesh, 4, Port.EAST) == 5
+        assert next_tile(mesh, 4, Port.WEST) == 3
+        assert next_tile(mesh, 4, Port.NORTH) == 1
+        assert next_tile(mesh, 4, Port.SOUTH) == 7
+
+    def test_off_mesh_rejected(self):
+        mesh = Mesh.square(3)
+        with pytest.raises(ValueError):
+            next_tile(mesh, 0, Port.NORTH)
+
+    def test_local_rejected(self):
+        mesh = Mesh.square(3)
+        with pytest.raises(ValueError):
+            next_tile(mesh, 0, Port.LOCAL)
+
+
+class TestRoutePath:
+    def test_path_endpoints(self):
+        mesh = Mesh.square(4)
+        path = route_path(mesh, 0, 15)
+        assert path[0] == 0 and path[-1] == 15
+
+    def test_path_length_is_minimal(self):
+        mesh = Mesh.square(4)
+        path = route_path(mesh, 0, 15)
+        assert len(path) - 1 == mesh.hops(0, 15)
+
+    def test_self_path(self):
+        mesh = Mesh.square(4)
+        assert route_path(mesh, 3, 3) == [3]
+
+    @given(
+        rows=st.integers(2, 6),
+        cols=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_xy_property_no_x_after_y(self, rows, cols, seed):
+        """XY routing never turns back into the X dimension after moving in
+        Y — the invariant that makes it deadlock-free on a mesh."""
+        import numpy as np
+
+        mesh = Mesh(rows, cols)
+        rng = np.random.default_rng(seed)
+        src, dst = rng.integers(mesh.n_tiles, size=2)
+        path = route_path(mesh, int(src), int(dst))
+        moved_y = False
+        for a, b in zip(path, path[1:]):
+            ra, ca = mesh.coords(a)
+            rb, cb = mesh.coords(b)
+            if ca != cb:  # X move
+                assert not moved_y, "X move after Y move violates DOR"
+            else:
+                moved_y = True
+        # Path is always minimal.
+        assert len(path) - 1 == mesh.hops(int(src), int(dst))

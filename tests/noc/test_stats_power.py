@@ -1,0 +1,126 @@
+"""Tests of latency statistics and the power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.packet import Packet, TrafficClass
+from repro.noc.power import ActivityCounts, PowerModel, PowerParams
+from repro.noc.stats import LatencyStats, LatencySummary
+
+
+def delivered(src, dst, created, ejected, app=-1, cls=TrafficClass.CACHE_REQUEST):
+    p = Packet(src, dst, cls, created, app=app)
+    p.injected_at = created
+    p.ejected_at = ejected
+    return p
+
+
+class TestLatencySummary:
+    def test_of(self):
+        s = LatencySummary.of(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.max == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.of(np.array([]))
+
+
+class TestLatencyStats:
+    def test_apl_by_app(self):
+        stats = LatencyStats()
+        stats.add(delivered(0, 1, 0, 10, app=0))
+        stats.add(delivered(0, 2, 0, 20, app=0))
+        stats.add(delivered(0, 3, 0, 30, app=1))
+        apls = stats.apl_by_app()
+        assert apls[0] == pytest.approx(15.0)
+        assert apls[1] == pytest.approx(30.0)
+        assert stats.max_apl() == pytest.approx(30.0)
+        assert stats.dev_apl() == pytest.approx(7.5)
+        assert stats.g_apl() == pytest.approx(20.0)
+
+    def test_by_class(self):
+        stats = LatencyStats()
+        stats.add(delivered(0, 1, 0, 10))
+        stats.add(delivered(0, 1, 0, 40, cls=TrafficClass.MEM_REQUEST))
+        assert stats.by_class(TrafficClass.CACHE_REQUEST).mean == 10
+        assert stats.by_class(TrafficClass.MEM_REQUEST).mean == 40
+        assert stats.classes() == [TrafficClass.CACHE_REQUEST, TrafficClass.MEM_REQUEST]
+
+    def test_local_exclusion_mode(self):
+        stats = LatencyStats(include_local=False)
+        stats.add(delivered(3, 3, 0, 0))
+        assert stats.n_packets == 0
+        assert stats.dropped_local == 1
+
+    def test_empty_queries_raise(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.g_apl()
+        with pytest.raises(ValueError):
+            stats.max_apl()
+
+    def test_report_renders(self):
+        stats = LatencyStats()
+        stats.add(delivered(0, 1, 0, 12, app=2))
+        text = stats.report()
+        assert "app 2" in text and "CACHE_REQUEST" in text
+
+
+class TestPowerModel:
+    def test_energy_accumulation(self):
+        model = PowerModel(Mesh.square(2))
+        counts = ActivityCounts(
+            flit_router_traversals=100,
+            flit_link_traversals=80,
+            buffer_writes=100,
+            cycles=1000,
+        )
+        p = model.params
+        expected = (
+            100 * (p.e_router_traversal + p.e_buffer_read)
+            + 100 * p.e_buffer_write
+            + 80 * p.e_link_traversal
+        )
+        assert model.dynamic_energy(counts) == pytest.approx(expected)
+
+    def test_power_scales_with_activity(self):
+        model = PowerModel(Mesh.square(4))
+        low = ActivityCounts(100, 80, 100, 1000)
+        high = ActivityCounts(1000, 800, 1000, 1000)
+        assert model.power(high).dynamic == pytest.approx(
+            10 * model.power(low).dynamic
+        )
+
+    def test_static_scales_with_routers(self):
+        small = PowerModel(Mesh.square(2))
+        large = PowerModel(Mesh.square(4))
+        counts = ActivityCounts(1, 1, 1, 100)
+        assert large.power(counts).static == pytest.approx(
+            4 * small.power(counts).static
+        )
+
+    def test_total(self):
+        model = PowerModel(Mesh.square(2))
+        b = model.power(ActivityCounts(10, 10, 10, 100))
+        assert b.total == pytest.approx(b.dynamic + b.static)
+
+    def test_analytic_counts(self):
+        model = PowerModel(Mesh.square(4))
+        counts = model.analytic_counts(
+            hops_per_packet=3.0, packets_per_cycle=0.5, flits_per_packet=2.0, cycles=1000
+        )
+        # 500 packets * 2 flits = 1000 flits; (3+1) routers, 3 links each.
+        assert counts.flit_router_traversals == 4000
+        assert counts.flit_link_traversals == 3000
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PowerParams(e_link_traversal=0)
+        with pytest.raises(ValueError):
+            ActivityCounts(1, 1, 1, 0)
+        with pytest.raises(ValueError):
+            ActivityCounts(-1, 1, 1, 10)

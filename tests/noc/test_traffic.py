@@ -1,0 +1,162 @@
+"""Tests of the traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.workload import Application, Workload
+from repro.noc.packet import TrafficClass
+from repro.noc.traffic import (
+    MappedWorkloadTraffic,
+    NearestMCTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+)
+
+
+class TestUniformRandom:
+    def test_rate_statistics(self):
+        gen = UniformRandomTraffic(n_tiles=16, injection_rate=0.25, seed=0)
+        count = sum(len(gen.packets_for_cycle(t)) for t in range(2000))
+        expected = 16 * 0.25 * 2000
+        assert abs(count - expected) / expected < 0.05
+
+    def test_no_self_traffic(self):
+        gen = UniformRandomTraffic(n_tiles=8, injection_rate=1.0, seed=1)
+        for t in range(50):
+            for p in gen.packets_for_cycle(t):
+                assert p.src != p.dst
+
+    def test_destination_uniform_over_others(self):
+        gen = UniformRandomTraffic(n_tiles=4, injection_rate=1.0, seed=2)
+        counts = np.zeros(4)
+        for t in range(3000):
+            for p in gen.packets_for_cycle(t):
+                if p.src == 0:
+                    counts[p.dst] += 1
+        assert counts[0] == 0
+        assert counts[1:].min() > 0.25 * counts[1:].max()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(n_tiles=4, injection_rate=1.5)
+
+    def test_created_at_stamped(self):
+        gen = UniformRandomTraffic(n_tiles=4, injection_rate=1.0, seed=0)
+        for p in gen.packets_for_cycle(17):
+            assert p.created_at == 17
+
+
+class TestTranspose:
+    def test_destinations_are_transposed(self):
+        gen = TransposeTraffic(n_tiles=16, injection_rate=1.0, seed=0, side=4)
+        for p in gen.packets_for_cycle(0):
+            r, c = divmod(p.src, 4)
+            assert p.dst == c * 4 + r
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            TransposeTraffic(n_tiles=12, injection_rate=0.1, side=3)
+
+
+class TestNearestMC:
+    def test_targets_are_controllers(self):
+        model = MeshLatencyModel(Mesh.square(4))
+        gen = NearestMCTraffic(n_tiles=16, injection_rate=1.0, seed=0, model=model)
+        for p in gen.packets_for_cycle(0):
+            assert p.dst in model.mc_tiles
+            assert p.dst == model.nearest_mc(p.src)
+
+    def test_requires_model(self):
+        with pytest.raises(ValueError):
+            NearestMCTraffic(n_tiles=16, injection_rate=0.1)
+
+
+@pytest.fixture
+def mapped_setup():
+    model = MeshLatencyModel(Mesh.square(4))
+    apps = (
+        Application("a", np.full(8, 20.0), np.full(8, 5.0)),
+        Application("b", np.full(8, 60.0), np.full(8, 10.0)),
+    )
+    inst = OBMInstance(model, Workload(apps))
+    mapping = Mapping(np.arange(16))
+    return inst, mapping
+
+
+class TestMappedWorkloadTraffic:
+    def test_rates_respected(self, mapped_setup):
+        inst, mapping = mapped_setup
+        gen = MappedWorkloadTraffic(inst, mapping, cycles_per_unit=1000, seed=0)
+        cache = mem = 0
+        cycles = 4000
+        for t in range(cycles):
+            for p in gen.packets_for_cycle(t):
+                if p.traffic_class == TrafficClass.CACHE_REQUEST:
+                    cache += 1
+                else:
+                    mem += 1
+        expected_cache = inst.workload.cache_rates.sum() / 1000 * cycles
+        expected_mem = inst.workload.mem_rates.sum() / 1000 * cycles
+        assert abs(cache - expected_cache) / expected_cache < 0.1
+        assert abs(mem - expected_mem) / expected_mem < 0.2
+
+    def test_sources_follow_mapping(self, mapped_setup):
+        inst, _ = mapped_setup
+        perm = np.roll(np.arange(16), 3)
+        gen = MappedWorkloadTraffic(inst, Mapping(perm), seed=1)
+        for t in range(200):
+            for p in gen.packets_for_cycle(t):
+                assert p.src == perm[p.thread]
+
+    def test_memory_goes_to_nearest_mc(self, mapped_setup):
+        inst, mapping = mapped_setup
+        gen = MappedWorkloadTraffic(inst, mapping, seed=2)
+        seen_mem = False
+        for t in range(2000):
+            for p in gen.packets_for_cycle(t):
+                if p.traffic_class == TrafficClass.MEM_REQUEST:
+                    seen_mem = True
+                    assert p.dst == inst.model.nearest_mc(p.src)
+        assert seen_mem
+
+    def test_app_tagging(self, mapped_setup):
+        inst, mapping = mapped_setup
+        gen = MappedWorkloadTraffic(inst, mapping, seed=3)
+        for t in range(200):
+            for p in gen.packets_for_cycle(t):
+                assert p.app == inst.workload.app_of_thread[p.thread]
+
+    def test_replies_generated(self, mapped_setup):
+        inst, mapping = mapped_setup
+        gen = MappedWorkloadTraffic(
+            inst, mapping, generate_replies=True, l2_latency=6, seed=4
+        )
+        classes = set()
+        for t in range(3000):
+            for p in gen.packets_for_cycle(t):
+                classes.add(p.traffic_class)
+        assert TrafficClass.CACHE_REPLY in classes
+
+    def test_reply_reverses_direction(self, mapped_setup):
+        inst, mapping = mapped_setup
+        gen = MappedWorkloadTraffic(inst, mapping, generate_replies=True, seed=5)
+        requests = {}
+        for t in range(2000):
+            for p in gen.packets_for_cycle(t):
+                if not p.traffic_class.is_reply:
+                    requests.setdefault((p.thread, p.dst, p.src), 0)
+                else:
+                    # some matching request (same thread, mirrored endpoints)
+                    assert (p.thread, p.src, p.dst) in requests
+
+    def test_saturation_rejected(self, mapped_setup):
+        inst, mapping = mapped_setup
+        with pytest.raises(ValueError):
+            MappedWorkloadTraffic(inst, mapping, cycles_per_unit=10)
+
+    def test_invalid_cycles_per_unit(self, mapped_setup):
+        inst, mapping = mapped_setup
+        with pytest.raises(ValueError):
+            MappedWorkloadTraffic(inst, mapping, cycles_per_unit=0)

@@ -1,0 +1,91 @@
+"""Tests of the mapping-layout analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_results,
+    corner_occupants,
+    dispersion_by_app,
+    placement_stats,
+)
+from repro.core.baselines import global_mapping
+from repro.core.problem import Mapping
+from repro.core.sss import sort_select_swap
+
+
+class TestPlacementStats:
+    def test_stats_cover_active_apps(self, c1_instance):
+        stats = placement_stats(c1_instance, Mapping(np.arange(c1_instance.n)))
+        assert len(stats) == 4
+        for s in stats:
+            assert s.n_tiles == 16
+            assert s.min_tc <= s.mean_tc <= s.max_tc
+            assert s.dispersion > 0
+
+    def test_idle_apps_skipped(self, small_instance):
+        # small_instance has no padding; build one that does.
+        from repro.core.latency import Mesh, MeshLatencyModel
+        from repro.core.problem import OBMInstance
+        from repro.core.workload import Application, Workload
+
+        inst = OBMInstance(
+            MeshLatencyModel(Mesh.square(4)),
+            Workload((Application("a", np.ones(8), np.ones(8) * 0.1),)),
+        )
+        stats = placement_stats(inst, Mapping(np.arange(16)))
+        assert [s.name for s in stats] == ["a"]
+
+    def test_global_parks_light_app_on_worse_tiles(self, c1_instance):
+        """Quantified Figure-4 reading: under Global the lightest app's
+        mean TC exceeds the heaviest app's."""
+        glob = global_mapping(c1_instance)
+        stats = {s.app_index: s for s in placement_stats(c1_instance, glob.mapping)}
+        assert stats[0].mean_tc > stats[3].mean_tc  # apps sorted by traffic
+
+    def test_sss_equalises_tile_quality(self, c1_instance):
+        sss = sort_select_swap(c1_instance)
+        stats = placement_stats(c1_instance, sss.mapping)
+        mean_tcs = [s.mean_tc for s in stats]
+        assert max(mean_tcs) - min(mean_tcs) < 1.0
+
+
+class TestCornerOccupants:
+    def test_four_corners(self, c1_instance):
+        occ = corner_occupants(c1_instance, Mapping(np.arange(c1_instance.n)))
+        assert len(occ) == 4
+        assert all(0 <= a < 4 for a in occ)
+
+    def test_identity_mapping_corners(self, c1_instance):
+        # With identity mapping, tile 0 hosts thread 0 (app 0), tile 63
+        # hosts thread 63 (app 3).
+        occ = corner_occupants(c1_instance, Mapping(np.arange(64)))
+        assert occ[0] == 0
+        assert occ[3] == 3
+
+
+class TestDispersion:
+    def test_contiguous_block_less_dispersed_than_spread(self, c1_instance):
+        mesh = c1_instance.mesh
+        # App 0's 16 threads on a compact 4x4 block vs scattered stripes.
+        block = [mesh.tile(r, c) for r in range(4) for c in range(4)]
+        rest = [t for t in range(64) if t not in block]
+        compact = Mapping(np.array(block + rest))
+        stripes = Mapping(np.arange(64).reshape(16, 4).T.reshape(-1))
+        d_compact = dispersion_by_app(c1_instance, compact)[0]
+        d_stripes = dispersion_by_app(c1_instance, stripes)[0]
+        assert d_compact < d_stripes
+
+
+class TestCompareResults:
+    def test_renders_all_algorithms_and_apps(self, c1_instance):
+        results = {
+            "Global": global_mapping(c1_instance),
+            "SSS": sort_select_swap(c1_instance),
+        }
+        text = compare_results(c1_instance, results)
+        assert "max-APL" in text
+        assert "Global" in text and "SSS" in text
+        for app in c1_instance.workload.applications:
+            if app.total_rate > 0:
+                assert app.name in text

@@ -1,0 +1,109 @@
+"""Tests of JSON serialisation and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.problem import Mapping
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+from repro.io import (
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    result_to_dict,
+    save_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def workload():
+    return Workload(
+        (
+            Application("a", [1.0, 2.0], [0.1, 0.2]),
+            Application("b", [3.0, 4.0], [0.3, 0.4]),
+        ),
+        name="roundtrip",
+    )
+
+
+class TestSerialization:
+    def test_workload_roundtrip(self, workload):
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.name == workload.name
+        assert np.array_equal(restored.cache_rates, workload.cache_rates)
+        assert np.array_equal(restored.mem_rates, workload.mem_rates)
+        assert [a.name for a in restored.applications] == ["a", "b"]
+
+    def test_mapping_roundtrip(self):
+        m = Mapping(np.array([2, 0, 3, 1]))
+        restored = mapping_from_dict(mapping_to_dict(m))
+        assert np.array_equal(restored.perm, m.perm)
+
+    def test_kind_checked(self, workload):
+        data = workload_to_dict(workload)
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            mapping_from_dict({"kind": "mapping", "format": 99, "perm": [0]})
+
+    def test_result_to_dict_is_json_safe(self, small_instance):
+        result = sort_select_swap(small_instance)
+        doc = result_to_dict(result)
+        text = json.dumps(doc)  # must not raise
+        assert doc["algorithm"] == "SSS"
+        assert len(doc["mapping"]["perm"]) == small_instance.n
+        assert doc["evaluation"]["max_apl"] == pytest.approx(result.max_apl)
+        assert "config" in doc["extra"]
+
+    def test_save_load_roundtrip(self, tmp_path, workload):
+        path = save_json(workload_to_dict(workload), tmp_path / "wl.json")
+        assert workload_from_dict(load_json(path)).name == "roundtrip"
+
+
+class TestCLI:
+    def test_map_command(self, capsys, tmp_path):
+        out = tmp_path / "result.json"
+        code = main(
+            ["map", "--workload", "C1", "--algorithm", "global", "--mesh", "4",
+             "--output", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Global" in captured
+        assert out.exists()
+
+    def test_evaluate_command(self, capsys, tmp_path):
+        mapping_path = tmp_path / "m.json"
+        save_json(mapping_to_dict(Mapping(np.arange(16))), mapping_path)
+        code = main(
+            ["evaluate", "--workload", "C1", "--mesh", "4", str(mapping_path)]
+        )
+        assert code == 0
+        assert "max=" in capsys.readouterr().out
+
+    def test_bound_command(self, capsys):
+        code = main(
+            ["bound", "--workload", "C2", "--mesh", "4",
+             "--algorithms", "global", "sss"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+        assert "gap %" in out
+
+    def test_workload_json_input(self, capsys, tmp_path, workload):
+        # 4 threads on a 2x2 mesh from a JSON file.
+        wl_path = save_json(workload_to_dict(workload), tmp_path / "wl.json")
+        code = main(["map", "--workload", str(wl_path), "--mesh", "2"])
+        assert code == 0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["map", "--algorithm", "quantum"])

@@ -1,0 +1,153 @@
+"""Tests of the event-driven CMP scheduler substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.workload import Application
+from repro.scheduler import (
+    CMPScheduler,
+    SchedulerEvent,
+    SSSRemapPolicy,
+    StaticFirstFitPolicy,
+    poisson_schedule,
+)
+
+
+def make_app(name: str, scale: float = 1.0, threads: int = 4) -> Application:
+    rng = np.random.default_rng(hash(name) % 2**32)
+    return Application(
+        name, rng.uniform(0.5, 2, threads) * scale, rng.uniform(0, 0.3, threads) * scale
+    )
+
+
+@pytest.fixture
+def model():
+    return MeshLatencyModel(Mesh.square(4))
+
+
+class TestEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerEvent(when=0, kind="pause")
+        with pytest.raises(ValueError):
+            SchedulerEvent(when=0, kind="arrive")
+        with pytest.raises(ValueError):
+            SchedulerEvent(when=0, kind="depart")
+
+
+class TestScheduler:
+    def simple_events(self):
+        return [
+            SchedulerEvent(0, "arrive", app=make_app("a")),
+            SchedulerEvent(5, "arrive", app=make_app("b", scale=3)),
+            SchedulerEvent(12, "depart", name="a"),
+            SchedulerEvent(20, "arrive", app=make_app("c")),
+        ]
+
+    def test_intervals_partition_time(self, model):
+        scheduler = CMPScheduler(model, SSSRemapPolicy())
+        result = scheduler.run(self.simple_events(), horizon=30)
+        spans = [(r.start, r.end) for r in result.intervals]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 30
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 == s2
+
+    def test_running_sets_tracked(self, model):
+        scheduler = CMPScheduler(model, SSSRemapPolicy())
+        result = scheduler.run(self.simple_events(), horizon=30)
+        by_start = {r.start: set(r.running) for r in result.intervals}
+        assert by_start[0] == {"a"}
+        assert by_start[5] == {"a", "b"}
+        assert by_start[12] == {"b"}
+        assert by_start[20] == {"b", "c"}
+
+    def test_remap_count(self, model):
+        scheduler = CMPScheduler(model, SSSRemapPolicy())
+        result = scheduler.run(self.simple_events(), horizon=30)
+        assert result.n_remaps == 4  # every change triggers one
+        assert result.total_remap_seconds > 0
+
+    def test_sss_policy_beats_first_fit(self, model):
+        events = self.simple_events()
+        sss = CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=30)
+        fit = CMPScheduler(model, StaticFirstFitPolicy()).run(events, horizon=30)
+        assert sss.time_weighted_max_apl() <= fit.time_weighted_max_apl() + 1e-9
+        assert sss.time_weighted_dev_apl() < fit.time_weighted_dev_apl()
+
+    def test_idle_chip_interval(self, model):
+        events = [
+            SchedulerEvent(5, "arrive", app=make_app("a")),
+            SchedulerEvent(10, "depart", name="a"),
+        ]
+        result = CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=20)
+        assert result.intervals[0].evaluation is None  # 0..5 idle
+        assert result.intervals[-1].evaluation is None  # 10..20 idle
+
+    def test_overcommit_rejected(self, model):
+        events = [
+            SchedulerEvent(0, "arrive", app=make_app("big", threads=12)),
+            SchedulerEvent(1, "arrive", app=make_app("big2", threads=12)),
+        ]
+        with pytest.raises(ValueError):
+            CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=10)
+
+    def test_duplicate_arrival_rejected(self, model):
+        events = [
+            SchedulerEvent(0, "arrive", app=make_app("a")),
+            SchedulerEvent(1, "arrive", app=make_app("a")),
+        ]
+        with pytest.raises(ValueError):
+            CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=10)
+
+    def test_unknown_departure_rejected(self, model):
+        events = [SchedulerEvent(0, "depart", name="ghost")]
+        with pytest.raises(ValueError):
+            CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=10)
+
+    def test_no_busy_interval_raises(self, model):
+        result = CMPScheduler(model, SSSRemapPolicy()).run([], horizon=10)
+        with pytest.raises(ValueError):
+            result.time_weighted_max_apl()
+
+
+class TestPoissonSchedule:
+    def test_generates_valid_timeline(self, model):
+        pool = [make_app("x"), make_app("y", scale=2)]
+        events = poisson_schedule(pool, horizon=200, seed=0)
+        assert events == sorted(events, key=lambda e: e.when)
+        # Every departure refers to a prior arrival.
+        seen = set()
+        for e in events:
+            if e.kind == "arrive":
+                seen.add(e.app.name)
+            else:
+                assert e.name in seen
+
+    def test_respects_concurrency_cap(self, model):
+        pool = [make_app("x")]
+        events = poisson_schedule(
+            pool, horizon=300, mean_interarrival=1.0, mean_lifetime=50.0,
+            max_concurrent=3, seed=1,
+        )
+        live = 0
+        peak = 0
+        for e in events:
+            live += 1 if e.kind == "arrive" else -1
+            peak = max(peak, live)
+        assert peak <= 3
+
+    def test_runs_through_scheduler(self, model):
+        pool = [make_app("x"), make_app("y", scale=2)]
+        events = poisson_schedule(
+            pool, horizon=100, max_concurrent=3, seed=2,
+            mean_interarrival=5.0, mean_lifetime=15.0,
+        )
+        result = CMPScheduler(model, SSSRemapPolicy()).run(events, horizon=100)
+        assert result.n_remaps >= 1
+        assert result.time_weighted_max_apl() > 0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_schedule([], horizon=10)

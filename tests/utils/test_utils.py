@@ -1,0 +1,92 @@
+"""Tests of RNG plumbing and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, permutation_from, spawn_rngs, stable_seed, weighted_choice
+from repro.utils.text import format_percent, format_table, grid_to_text, heatmap_to_text
+
+
+class TestRng:
+    def test_as_rng_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_rng_int_deterministic(self):
+        assert as_rng(5).integers(1000) == as_rng(5).integers(1000)
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_spawn_independent(self):
+        a, b = spawn_rngs(1, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_deterministic(self):
+        xs = [g.integers(10**9) for g in spawn_rngs(3, 4)]
+        ys = [g.integers(10**9) for g in spawn_rngs(3, 4)]
+        assert xs == ys
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_stable_seed_distinct_labels(self):
+        assert stable_seed("a") != stable_seed("b")
+        assert stable_seed("x", 1) == stable_seed("x", 1)
+
+    def test_permutation_from(self):
+        p = permutation_from(as_rng(0), 10)
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_weighted_choice(self):
+        rng = as_rng(0)
+        picks = [weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(20)]
+        assert all(p == "b" for p in picks)
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            weighted_choice(as_rng(0), ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(as_rng(0), ["a"], [0.0])
+
+
+class TestText:
+    def test_format_table_alignment(self):
+        text = format_table(["x", "longer"], [[1, 2.5], [10, 3.25]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all rows same width
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_grid_to_text(self):
+        text = grid_to_text(np.array([[1, 2], [3, 4]]))
+        assert text == "1 2\n3 4"
+
+    def test_grid_requires_2d(self):
+        with pytest.raises(ValueError):
+            grid_to_text(np.arange(4))
+
+    def test_heatmap_extremes(self):
+        text = heatmap_to_text(np.array([[0.0, 1.0]]), legend=False)
+        assert text[0] == " " and text[-1] == "@"
+
+    def test_heatmap_constant(self):
+        text = heatmap_to_text(np.zeros((2, 2)), legend=False)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_heatmap_requires_2d(self):
+        with pytest.raises(ValueError):
+            heatmap_to_text(np.arange(4))
+
+    def test_format_percent(self):
+        assert format_percent(0.1042) == "+10.42%"
+        assert format_percent(-0.05) == "-5.00%"
+        assert format_percent(0.5, signed=False) == "50.00%"

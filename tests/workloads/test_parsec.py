@@ -1,0 +1,113 @@
+"""Tests of the C1-C8 PARSEC-calibrated configurations (paper Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.parsec import (
+    CONFIG_NAMES,
+    PARSEC_CONFIGS,
+    measured_table3_row,
+    parsec_config,
+    parsec_trace_matrices,
+)
+
+
+class TestConfigTable:
+    def test_eight_configs(self):
+        assert CONFIG_NAMES == ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8")
+
+    def test_paper_values_stored(self):
+        spec = PARSEC_CONFIGS["C1"]
+        assert spec.cache.mean == 7.008
+        assert spec.cache.std == 88.3
+        assert spec.mem.mean == 0.899
+        assert spec.mem.std == 9.84
+
+    def test_cache_to_mem_ratio_near_paper(self):
+        """Paper: cache rate on average 6.78x the memory rate."""
+        ratios = [s.cache_to_mem_ratio for s in PARSEC_CONFIGS.values()]
+        assert 4 < np.mean(ratios) < 9
+
+    def test_four_benchmarks_each(self):
+        for spec in PARSEC_CONFIGS.values():
+            assert len(spec.benchmarks) == 4
+
+
+class TestTable3Reproduction:
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_measured_stats_match_paper(self, name):
+        """The headline property: pooled mean/std equal Table 3 exactly."""
+        row = measured_table3_row(name)
+        assert row["cache_mean"] == pytest.approx(row["paper_cache_mean"], rel=1e-6)
+        assert row["cache_std"] == pytest.approx(row["paper_cache_std"], rel=1e-6)
+        assert row["mem_mean"] == pytest.approx(row["paper_mem_mean"], rel=1e-6)
+        assert row["mem_std"] == pytest.approx(row["paper_mem_std"], rel=1e-6)
+
+
+class TestWorkloadConstruction:
+    def test_default_shape(self):
+        wl = parsec_config("C1")
+        assert wl.n_apps == 4
+        assert wl.n_threads == 64
+        assert all(a.n_threads == 16 for a in wl.applications)
+
+    def test_sorted_by_traffic_default(self):
+        wl = parsec_config("C1")
+        totals = [a.total_rate for a in wl.applications]
+        assert totals == sorted(totals)
+
+    def test_unsorted_option(self):
+        wl = parsec_config("C1", sort_by_traffic=False)
+        assert {a.name for a in wl.applications} == set(
+            PARSEC_CONFIGS["C1"].benchmarks
+        )
+
+    def test_deterministic_default_seed(self):
+        a = parsec_config("C3")
+        b = parsec_config("C3")
+        assert np.array_equal(a.cache_rates, b.cache_rates)
+        assert np.array_equal(a.mem_rates, b.mem_rates)
+
+    def test_different_configs_differ(self):
+        a = parsec_config("C1")
+        b = parsec_config("C2")
+        assert not np.array_equal(a.cache_rates, b.cache_rates)
+
+    def test_explicit_seed_changes_draw(self):
+        a = parsec_config("C1")
+        b = parsec_config("C1", seed=123)
+        assert not np.array_equal(a.cache_rates, b.cache_rates)
+
+    def test_custom_thread_count(self):
+        wl = parsec_config("C2", threads_per_app=4)
+        assert wl.n_threads == 16
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            parsec_config("C9")
+
+    def test_case_insensitive(self):
+        wl = parsec_config("c1")
+        assert wl.name == "C1"
+
+    def test_memory_correlated_with_cache(self):
+        """Threads with high cache rates should tend to have high memory
+        rates (they are generated with coupled scales)."""
+        cache, mem, _ = parsec_trace_matrices("C4")
+        corr = np.corrcoef(
+            np.log(cache.thread_means), np.log(mem.thread_means)
+        )[0, 1]
+        assert corr > 0.4
+
+    def test_all_rates_positive(self):
+        for name in CONFIG_NAMES:
+            wl = parsec_config(name)
+            assert np.all(wl.cache_rates > 0)
+            assert np.all(wl.mem_rates > 0)
+
+    def test_apps_have_distinct_intensities(self):
+        """Application totals must spread enough for the mapping problem to
+        be interesting (the paper's apps differ several-fold)."""
+        wl = parsec_config("C1")
+        totals = np.array([a.total_rate for a in wl.applications])
+        assert totals.max() > 1.5 * totals.min()
