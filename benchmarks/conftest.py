@@ -11,16 +11,54 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Add ``-s`` to see the reproduced tables printed inline.
+
+Every ``run_once`` wall-clock is also persisted to a machine-readable
+JSON file (``benchmarks/bench_timings.json``, or the path in the
+``BENCH_PERF_JSON`` environment variable) so speedups can be tracked
+across revisions — ``BENCH_perf.json`` at the repo root is assembled from
+these records.  Set ``REPRO_BENCH_WORKERS=N`` to run the fan-out-capable
+harnesses on N processes (default 1 = serial; identical results either
+way).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
+
+#: Worker processes for fan-out-capable experiment harnesses.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+_TIMINGS_PATH = Path(
+    os.environ.get("BENCH_PERF_JSON", Path(__file__).parent / "bench_timings.json")
+)
+
+
+def _record_timing(name: str, seconds: float) -> None:
+    """Merge one benchmark wall-clock into the timings JSON file."""
+    try:
+        timings = json.loads(_TIMINGS_PATH.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        timings = {}
+    timings[name] = {"seconds": seconds}
+    _TIMINGS_PATH.write_text(json.dumps(timings, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark ``fn`` with exactly one timed invocation and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Benchmark ``fn`` with exactly one timed invocation and return its result.
+
+    The measured wall-clock is recorded both in pytest-benchmark's own
+    stats and, keyed by the benchmark's test name, in the timings JSON.
+    """
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    _record_timing(getattr(benchmark, "name", fn.__name__), elapsed)
+    return result
 
 
 @pytest.fixture

@@ -37,6 +37,7 @@ from repro.io import (
     save_json,
     workload_from_dict,
 )
+from repro.utils import profiling
 from repro.utils.text import format_table, grid_to_text
 from repro.workloads.parsec import CONFIG_NAMES, parsec_config
 
@@ -111,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--workload", default="C1",
             help="paper configuration name (C1..C8) or a workload JSON path",
         )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print named phase timings (e.g. sss.select/swap/polish)",
+        )
 
     p_map = sub.add_parser("map", help="solve an OBM instance")
     add_common(p_map)
@@ -136,7 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "profile", False):
+        profiling.enable_profiling()
+    status = args.func(args)
+    if getattr(args, "profile", False):
+        print()
+        print(profiling.format_profile())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -62,6 +62,21 @@ OBJECTIVES: dict[str, Callable[[MappingEvaluation], float]] = {
 }
 
 
+def _permutation_batch(
+    rng: np.random.Generator, b: int, n: int
+) -> np.ndarray:
+    """``b`` independent uniform permutations of ``range(n)`` as a (b, n) array.
+
+    One vectorised ``permuted`` call (independent Fisher-Yates per row)
+    instead of a Python loop of ``rng.permutation`` — an order of magnitude
+    faster at MC batch sizes.  Each row is still exactly uniform; only the
+    consumed random stream differs from the old loop.
+    """
+    return rng.permuted(
+        np.broadcast_to(np.arange(n, dtype=np.int64), (b, n)), axis=1
+    )
+
+
 def _resolve_objective(objective) -> Callable[[MappingEvaluation], float]:
     if callable(objective):
         return objective
@@ -135,7 +150,7 @@ def random_average(
     done = 0
     while done < n_samples:
         b = min(batch, n_samples - done)
-        perms = np.array([rng.permutation(instance.n) for _ in range(b)])
+        perms = _permutation_batch(rng, b, instance.n)
         max_apls, dev_apls, g_apls = _batched_metrics(instance, perms)
         totals += np.array([max_apls.sum(), dev_apls.sum(), g_apls.sum()])
         done += b
@@ -165,7 +180,7 @@ def monte_carlo(
     done = 0
     while done < n_samples:
         b = min(batch, n_samples - done)
-        perms = np.array([rng.permutation(instance.n) for _ in range(b)])
+        perms = _permutation_batch(rng, b, instance.n)
         if obj in (_objective_max_apl, _objective_dev_apl, _objective_g_apl):
             max_apls, dev_apls, g_apls = _batched_metrics(instance, perms)
             values = {

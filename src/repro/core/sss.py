@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.core.metrics import evaluate_mapping
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
 from repro.core.sam import assign_app_to_tiles
+from repro.utils import profiling
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -78,6 +80,33 @@ class SSSConfig:
             raise ValueError("swap_passes must be non-negative")
 
 
+def _tc_sorted_tiles(instance: OBMInstance) -> np.ndarray:
+    """All tiles sorted by cache APL — the backbone of every SSS stage.
+
+    Stable sort keeps the tie-breaking (many tiles share a TC value on a
+    symmetric mesh) deterministic.  Computed once per ``sort_select_swap``
+    call and threaded through the select/swap/rebalance stages, which all
+    used to recompute it.
+    """
+    return np.argsort(instance.tc, kind="stable").astype(np.int64)
+
+
+@lru_cache(maxsize=None)
+def _window_perms(window: int) -> np.ndarray:
+    """All permutations of ``window`` positions, identity first.
+
+    Identity-first ordering makes exact ties resolve to "no change" in the
+    greedy window step.  Cached: the enumeration is identical for every
+    window position, sweep, restart and instance, yet used to be rebuilt
+    per :class:`_SwapState`.  The array is frozen so sharing is safe.
+    """
+    perms = sorted(itertools.permutations(range(window)))
+    perms.sort(key=lambda p: p != tuple(range(window)))
+    array = np.array(perms, dtype=np.int64)
+    array.setflags(write=False)
+    return array
+
+
 def _app_processing_order(instance: OBMInstance, config: SSSConfig) -> list[int]:
     order = list(range(instance.workload.n_apps))
     if config.app_order == "given":
@@ -107,13 +136,14 @@ def _select_tiles(
 
 
 def _select_phase(
-    instance: OBMInstance, config: SSSConfig, rng: np.random.Generator
+    instance: OBMInstance,
+    config: SSSConfig,
+    rng: np.random.Generator,
+    tc_order: np.ndarray | None = None,
 ) -> np.ndarray:
     """Steps 1+2: sorted stratified tile selection + per-app SAM placement."""
     wl = instance.workload
-    # Stable sort keeps the tie-breaking (many tiles share a TC value on a
-    # symmetric mesh) deterministic.
-    sorted_tiles = np.argsort(instance.tc, kind="stable").astype(np.int64)
+    sorted_tiles = _tc_sorted_tiles(instance) if tc_order is None else tc_order
     remaining = sorted_tiles.copy()
     perm = np.full(instance.n, -1, dtype=np.int64)
 
@@ -157,11 +187,7 @@ class _SwapState:
         self.active = wl.active_apps
         per_thread = self.c * self.tc[self.perm] + self.m * self.tm[self.perm]
         self.numerators = np.add.reduceat(per_thread, wl.boundaries[:-1])
-        # Pre-enumerated permutations of window positions, identity first so
-        # that exact ties resolve to "no change".
-        perms = sorted(itertools.permutations(range(window)))
-        perms.sort(key=lambda p: p != tuple(range(window)))
-        self.perms = np.array(perms, dtype=np.int64)
+        self.perms = _window_perms(window)
         self._safe_volumes = np.where(self.volumes > 0, self.volumes, 1.0)
 
     def current_max_apl(self) -> float:
@@ -207,13 +233,16 @@ class _SwapState:
 
 
 def _swap_phase(
-    instance: OBMInstance, perm: np.ndarray, config: SSSConfig
+    instance: OBMInstance,
+    perm: np.ndarray,
+    config: SSSConfig,
+    tc_order: np.ndarray | None = None,
 ) -> np.ndarray:
     """Step 3's sliding-window sweep over the sorted tile list."""
     n = instance.n
     w = config.window
     max_step = config.max_step if config.max_step is not None else max(1, n // w)
-    sorted_tiles = np.argsort(instance.tc, kind="stable").astype(np.int64)
+    sorted_tiles = _tc_sorted_tiles(instance) if tc_order is None else tc_order
     state = _SwapState(instance, perm, w)
     for _ in range(config.swap_passes):
         for step in range(1, max_step + 1):
@@ -229,25 +258,39 @@ def sort_select_swap(
     instance: OBMInstance,
     config: SSSConfig | None = None,
     seed=None,
+    tc_order: np.ndarray | None = None,
 ) -> MappingResult:
     """Run sort-select-swap on ``instance`` and return the mapping + metrics.
 
     ``seed`` only matters for non-default stochastic select policies; the
-    paper's configuration is fully deterministic.
+    paper's configuration is fully deterministic.  ``tc_order`` optionally
+    supplies the TC-sorted tile list (as from the internal sort) so
+    multi-start callers do not re-sort per restart.
+
+    Per-stage wall-clock lands in ``extra["phase_seconds"]`` and, when the
+    global profiler is enabled, under ``sss.select`` / ``sss.swap`` /
+    ``sss.polish`` phases.
     """
     config = config or SSSConfig()
     rng = as_rng(seed)
+    if tc_order is None:
+        tc_order = _tc_sorted_tiles(instance)
+    phase_seconds: dict[str, float] = {}
     t0 = time.perf_counter()
 
-    perm = _select_phase(instance, config, rng)
+    perm = _select_phase(instance, config, rng, tc_order)
+    phase_seconds["select"] = time.perf_counter() - t0
     select_eval = evaluate_mapping(
         instance.workload, perm, instance.tc, instance.tm
     )
 
+    t = time.perf_counter()
     if config.swap_passes > 0:
-        perm = _swap_phase(instance, perm, config)
+        perm = _swap_phase(instance, perm, config, tc_order)
+    phase_seconds["swap"] = time.perf_counter() - t
     swap_eval = evaluate_mapping(instance.workload, perm, instance.tc, instance.tm)
 
+    t = time.perf_counter()
     if config.final_polish:
         wl = instance.workload
         for app_index in range(wl.n_apps):
@@ -258,9 +301,14 @@ def sort_select_swap(
             )
         if config.rebalance_after_polish and config.swap_passes > 0:
             perm = _swap_phase(
-                instance, perm, replace(config, swap_passes=1)
+                instance, perm, replace(config, swap_passes=1), tc_order
             )
+    phase_seconds["polish"] = time.perf_counter() - t
     elapsed = time.perf_counter() - t0
+
+    if profiling.profiling_enabled():
+        for name, seconds in phase_seconds.items():
+            profiling.PROFILER.record(f"sss.{name}", seconds)
 
     mapping = Mapping(perm)
     return MappingResult(
@@ -272,8 +320,15 @@ def sort_select_swap(
             "config": config,
             "select_eval": select_eval,
             "swap_eval": swap_eval,
+            "phase_seconds": phase_seconds,
         },
     )
+
+
+def _sss_start_cell(cell) -> MappingResult:
+    """One multi-start restart, picklable for process fan-out."""
+    instance, config, start_seed = cell
+    return sort_select_swap(instance, config, seed=start_seed)
 
 
 def multi_start_sss(
@@ -281,6 +336,7 @@ def multi_start_sss(
     n_starts: int = 8,
     config: SSSConfig | None = None,
     seed=None,
+    workers: int = 1,
 ) -> MappingResult:
     """Best-of-``n_starts`` SSS with randomised section picks (extension).
 
@@ -290,18 +346,36 @@ def multi_start_sss(
     occasionally beats) the deterministic result at ``n_starts``x the
     runtime.  Start 0 always runs the paper's deterministic configuration
     so the result can never be worse than plain SSS.
+
+    Every start's seed is drawn from ``rng`` up front, in the order the
+    serial loop drew them, and the best pick scans candidates in start
+    order with a strict ``<`` — so ``workers > 1`` fans the starts across
+    processes yet returns the exact mapping of the serial run.
     """
     if n_starts < 1:
         raise ValueError("n_starts must be positive")
     base = config or SSSConfig()
     rng = as_rng(seed)
     t0 = time.perf_counter()
-    best = sort_select_swap(instance, base)
     random_config = replace(base, select="random")
-    for _ in range(n_starts - 1):
-        candidate = sort_select_swap(
-            instance, random_config, seed=rng.integers(2**63)
-        )
+    cells = [(instance, base, None)] + [
+        (instance, random_config, int(rng.integers(2**63)))
+        for _ in range(n_starts - 1)
+    ]
+    if workers > 1 and n_starts > 1:
+        # Lazy import: keeps the algorithm layer import-independent of the
+        # experiment package on the (default) serial path.
+        from repro.experiments.parallel import parallel_map
+
+        candidates = parallel_map(_sss_start_cell, cells, workers=workers)
+    else:
+        tc_order = _tc_sorted_tiles(instance)
+        candidates = [
+            sort_select_swap(instance, cfg, seed=s, tc_order=tc_order)
+            for _, cfg, s in cells
+        ]
+    best = candidates[0]
+    for candidate in candidates[1:]:
         if candidate.max_apl < best.max_apl:
             best = candidate
     elapsed = time.perf_counter() - t0

@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m repro.experiments <id> [--fast]``."""
+"""CLI entry point: ``python -m repro.experiments <id> [--fast] [--workers N]``."""
 
 from __future__ import annotations
 
@@ -6,6 +6,8 @@ import argparse
 import sys
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.parallel import resolve_workers, supports_workers
+from repro.utils import profiling
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,23 +26,53 @@ def main(argv: list[str] | None = None) -> int:
         help="shrink stochastic search budgets (for smoke runs)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for fan-out-capable experiments "
+        "(default: REPRO_WORKERS env var or 1 = serial; 0 = one per CPU). "
+        "Results are identical for any worker count.",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print named phase timings (e.g. sss.swap, noc.measure) per experiment",
+    )
+    parser.add_argument(
         "--output-dir",
         help="also write <id>.txt / <id>.json artifacts into this directory",
     )
     args = parser.parse_args(argv)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.profile:
+        profiling.enable_profiling()
 
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.output_dir:
         from repro.experiments.artifacts import write_artifacts
 
-        written = write_artifacts(args.output_dir, ids, fast=args.fast)
+        written = write_artifacts(
+            args.output_dir, ids, fast=args.fast, workers=workers
+        )
         for experiment_id, path in written.items():
             print(path.read_text())
         print(f"artifacts written to {args.output_dir}")
         return 0
     for experiment_id in ids:
-        report = EXPERIMENTS[experiment_id](fast=args.fast)
+        fn = EXPERIMENTS[experiment_id]
+        kwargs = {"fast": args.fast}
+        if workers != 1 and supports_workers(fn):
+            kwargs["workers"] = workers
+        if args.profile:
+            profiling.reset_profiling()
+        report = fn(**kwargs)
         print(report)
+        if args.profile:
+            print()
+            print(profiling.format_profile())
         print()
     return 0
 

@@ -14,6 +14,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.parallel import supports_workers
+from repro.utils import profiling
 
 __all__ = ["write_artifacts"]
 
@@ -43,11 +45,16 @@ def write_artifacts(
     experiment_ids: list[str] | None = None,
     *,
     fast: bool = False,
+    workers: int = 1,
 ) -> dict[str, Path]:
     """Run the selected experiments and write their artifacts.
 
     Returns a map from experiment id to the written text file.  Unknown
-    ids raise before anything runs.
+    ids raise before anything runs.  ``workers`` is forwarded to the
+    experiments that declare a ``workers`` keyword (the fan-out-capable
+    harnesses); artifact bytes are identical for any worker count.  When
+    the global profiler is enabled, each experiment's phase timings are
+    written to ``<id>.profile.json`` alongside the artifact.
     """
     ids = list(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -59,7 +66,13 @@ def write_artifacts(
     written: dict[str, Path] = {}
     index = []
     for experiment_id in ids:
-        report = EXPERIMENTS[experiment_id](fast=fast)
+        fn = EXPERIMENTS[experiment_id]
+        kwargs = {"fast": fast}
+        if workers != 1 and supports_workers(fn):
+            kwargs["workers"] = workers
+        if profiling.profiling_enabled():
+            profiling.reset_profiling()
+        report = fn(**kwargs)
         text_path = output_dir / f"{experiment_id}.txt"
         text_path.write_text(str(report) + "\n")
         json_path = output_dir / f"{experiment_id}.json"
@@ -77,6 +90,11 @@ def write_artifacts(
             )
             + "\n"
         )
+        if profiling.profiling_enabled():
+            (output_dir / f"{experiment_id}.profile.json").write_text(
+                json.dumps(profiling.profile_summary(), indent=2, sort_keys=True)
+                + "\n"
+            )
         written[experiment_id] = text_path
         index.append(f"{experiment_id}: {report.title}")
     (output_dir / "INDEX.txt").write_text("\n".join(index) + "\n")

@@ -16,9 +16,26 @@ from repro.experiments.base import (
     standard_instance,
     standard_model,
 )
+from repro.experiments.parallel import parallel_map
 from repro.utils.text import format_table, grid_to_text, heatmap_to_text
 
 __all__ = ["fig3", "fig4", "fig5", "fig8", "fig9", "fig10"]
+
+
+def _algorithm_sweep_cell(cell: tuple[str, bool]) -> dict:
+    """One (config x four-algorithm sweep) cell for fig9/fig10 fan-out.
+
+    Deterministic in its inputs: every stochastic algorithm is seeded via
+    ``stable_seed(alg, config_name)`` inside ``run_algorithms``, so the
+    cell's results are independent of which process runs it, or when.
+    """
+    name, fast = cell
+    instance = standard_instance(name)
+    results = run_algorithms(instance, fast=fast, seed_tag=name)
+    return {
+        alg: {"max_apl": results[alg].max_apl, "g_apl": results[alg].g_apl}
+        for alg in ALGORITHM_ORDER
+    }
 
 
 def fig3(**_) -> ExperimentReport:
@@ -169,20 +186,24 @@ def fig8(*, fast: bool = False) -> ExperimentReport:
     )
 
 
-def fig9(*, fast: bool = False) -> ExperimentReport:
+def fig9(*, fast: bool = False, workers: int = 1) -> ExperimentReport:
     """Figure 9: max-APL of the four algorithms across C1-C8.
 
     Expected shape: Global worst (highest max-APL); MC and SA better; SSS
-    best or tied-best, ~10% below Global on average.
+    best or tied-best, ~10% below Global on average.  ``workers > 1``
+    fans the eight configurations across processes with identical output.
     """
+    sweeps = parallel_map(
+        _algorithm_sweep_cell,
+        [(name, fast) for name in CONFIG_NAMES],
+        workers=workers,
+    )
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}
-    for name in CONFIG_NAMES:
-        instance = standard_instance(name)
-        results = run_algorithms(instance, fast=fast, seed_tag=name)
+    for name, sweep in zip(CONFIG_NAMES, sweeps):
         for alg in ALGORITHM_ORDER:
-            per_alg[alg].append(results[alg].max_apl)
-        data[name] = {alg: results[alg].max_apl for alg in ALGORITHM_ORDER}
+            per_alg[alg].append(sweep[alg]["max_apl"])
+        data[name] = {alg: sweep[alg]["max_apl"] for alg in ALGORITHM_ORDER}
     rows = [[alg, *vals, float(np.mean(vals))] for alg, vals in per_alg.items()]
     text = format_table(
         ["", *CONFIG_NAMES, "Avg"],
@@ -203,22 +224,26 @@ def fig9(*, fast: bool = False) -> ExperimentReport:
     return ExperimentReport("fig9", "max-APL comparison", text, data)
 
 
-def fig10(*, fast: bool = False) -> ExperimentReport:
+def fig10(*, fast: bool = False, workers: int = 1) -> ExperimentReport:
     """Figure 10: g-APL of the four algorithms, normalised to Global.
 
     Expected shape: Global is 1.0 by construction (it is the exact g-APL
     optimum); the three balancing algorithms pay only a few percent, SSS
-    the least.
+    the least.  ``workers > 1`` fans the configurations across processes
+    with identical output.
     """
+    sweeps = parallel_map(
+        _algorithm_sweep_cell,
+        [(name, fast) for name in CONFIG_NAMES],
+        workers=workers,
+    )
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}
-    for name in CONFIG_NAMES:
-        instance = standard_instance(name)
-        results = run_algorithms(instance, fast=fast, seed_tag=name)
-        base = results["Global"].g_apl
+    for name, sweep in zip(CONFIG_NAMES, sweeps):
+        base = sweep["Global"]["g_apl"]
         for alg in ALGORITHM_ORDER:
-            per_alg[alg].append(results[alg].g_apl / base)
-        data[name] = {alg: results[alg].g_apl for alg in ALGORITHM_ORDER}
+            per_alg[alg].append(sweep[alg]["g_apl"] / base)
+        data[name] = {alg: sweep[alg]["g_apl"] for alg in ALGORITHM_ORDER}
     rows = [[alg, *vals, float(np.mean(vals))] for alg, vals in per_alg.items()]
     text = format_table(
         ["", *CONFIG_NAMES, "Avg"],

@@ -17,12 +17,19 @@ from repro.experiments.base import (
     run_algorithms,
     standard_instance,
 )
+from repro.experiments.parallel import parallel_map
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
 from repro.noc.traffic import MappedWorkloadTraffic
 from repro.utils.text import format_table
 
 __all__ = ["measured_apl_comparison"]
+
+
+def _measure_cell(cell) -> LatencyStats:
+    """One per-algorithm NoC replay — the expensive, independent unit."""
+    instance, mapping, cycles, seed = cell
+    return _measure(instance, mapping, cycles=cycles, seed=seed)
 
 
 def _measure(instance, mapping, *, cycles: int, seed: int) -> LatencyStats:
@@ -48,18 +55,28 @@ def measured_apl_comparison(
     algorithms: tuple[str, ...] = ("Global", "SSS"),
     cycles: int = 20_000,
     fast: bool = False,
+    workers: int = 1,
 ) -> ExperimentReport:
-    """Analytic vs measured per-application APLs for chosen algorithms."""
+    """Analytic vs measured per-application APLs for chosen algorithms.
+
+    Each algorithm's cycle-level replay is an independent simulation with
+    a fixed seed, so ``workers > 1`` fans them across processes without
+    changing a single measured number.
+    """
     if fast:
         cycles = min(cycles, 4_000)
     instance = standard_instance(config_name)
     results = run_algorithms(
         instance, fast=fast, seed_tag=config_name, algorithms=algorithms
     )
+    all_stats = parallel_map(
+        _measure_cell,
+        [(instance, results[alg].mapping, cycles, 13) for alg in algorithms],
+        workers=workers,
+    )
     rows = []
     data = {}
-    for alg in algorithms:
-        stats = _measure(instance, results[alg].mapping, cycles=cycles, seed=13)
+    for alg, stats in zip(algorithms, all_stats):
         measured = stats.apl_by_app()
         analytic = results[alg].evaluation.apls
         for app, m_apl in sorted(measured.items()):

@@ -1,0 +1,97 @@
+"""Deterministic fan-out of experiment cells across worker processes.
+
+The figure/table harnesses are embarrassingly parallel at the *cell*
+level: one (workload config x algorithm-sweep) per C1..C8 name, one
+simulation per algorithm, one SSS start per seed.  :func:`parallel_map`
+runs such cells through a :class:`~concurrent.futures.ProcessPoolExecutor`
+and returns results **in input order**, so a parallel run is byte-for-byte
+identical to the serial one provided each cell is deterministic in its
+inputs.  Determinism is the caller's contract and this module's helpers
+make it easy to honour:
+
+* derive every seed *before* fanning out (:func:`cell_seeds`, or by
+  pre-drawing from the caller's generator in its original order), so the
+  stream of random numbers a cell sees never depends on scheduling;
+* results come back ordered, so reductions (best-of, tables, artifact
+  JSON) see the same sequence as a serial loop.
+
+``workers=1`` (the default everywhere) bypasses the executor entirely —
+no processes, no pickling — which keeps the serial path the reference
+implementation.  Cell functions must be module-level (picklable) when
+``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.utils.rng import stable_seed
+
+__all__ = ["parallel_map", "cell_seeds", "resolve_workers", "supports_workers"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Normalise a ``workers`` knob to a positive process count.
+
+    ``None`` falls back to the ``REPRO_WORKERS`` environment variable
+    (default 1 — serial); ``0`` means "one per CPU".
+    """
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def parallel_map(
+    fn: Callable,
+    cells: Iterable,
+    *,
+    workers: int | None = 1,
+) -> list:
+    """``[fn(cell) for cell in cells]``, optionally across processes.
+
+    Results are always returned in the order of ``cells`` regardless of
+    which worker finishes first.  With ``workers <= 1`` this is exactly
+    the list comprehension (no executor, no pickling), so the serial path
+    stays the reference implementation and the parallel path is only ever
+    a wall-clock optimisation.
+    """
+    cells = list(cells)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(cells) <= 1:
+        return [fn(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as executor:
+        # Submit everything up front and collect in submission order:
+        # identical result sequence to the serial loop.
+        futures = [executor.submit(fn, cell) for cell in cells]
+        return [future.result() for future in futures]
+
+
+def cell_seeds(tag: str, labels: Sequence) -> list[int]:
+    """One stable 63-bit seed per cell label, independent of cell order.
+
+    Seeds depend only on ``(tag, label)`` — not on how many cells run,
+    in which order, or in how many processes — so adding or reordering
+    cells never perturbs the others' results.
+    """
+    return [stable_seed(tag, str(label)) for label in labels]
+
+
+def supports_workers(fn: Callable) -> bool:
+    """Does ``fn`` declare an explicit ``workers`` keyword?
+
+    Used by the artifact writer and CLI to forward ``--workers`` only to
+    experiments that actually fan out (``**kwargs`` catch-alls do not
+    count — they ignore the knob).
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins, partials without signature
+        return False
+    return "workers" in params

@@ -14,10 +14,20 @@ DESIGN.md): credits are returned instantly rather than after a credit-wire
 delay, and VC allocation is greedy first-free.  Both effects are
 second-order at the paper's operating loads and do not change who wins a
 mapping comparison.
+
+Performance notes: the input VCs live in one flat ``channels`` tuple in
+(port, vc) order and ``step`` makes a single fused pass over it (route
+compute, VC allocation and switch-candidate gathering per channel, in the
+same order the three separate stage loops used to visit them, so results
+are bit-identical).  Total buffered flits are tracked in an O(1) counter
+so the surrounding network can skip idle routers without rescanning
+buffers.  ``inputs`` remains available as a per-port view of the same
+channel objects.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -28,6 +38,7 @@ __all__ = ["RouterConfig", "VirtualChannel", "Router"]
 
 _VC_IDLE = "idle"
 _VC_ROUTING = "routing"
+_VC_AWAITING = "awaiting_vc"
 _VC_ACTIVE = "active"
 
 
@@ -77,7 +88,7 @@ class RouterConfig:
         return (c * per, (c + 1) * per)
 
 
-@dataclass
+@dataclass(eq=False)
 class VirtualChannel:
     """One input virtual channel: a FIFO plus wormhole allocation state."""
 
@@ -87,6 +98,12 @@ class VirtualChannel:
     state: str = _VC_IDLE
     out_port: Port | None = None
     out_vc: int | None = None
+    #: flat position in the router's channel array — the (port, vc) scan
+    #: order and the arbitration tie-break key.
+    key: int = 0
+
+    def __lt__(self, other: "VirtualChannel") -> bool:
+        return self.key < other.key
 
     @property
     def occupancy(self) -> int:
@@ -111,8 +128,22 @@ class Router:
         self.tile = tile
         self.config = config
         self._route_fn = route_fn  # (tile, dst) -> Port
+        #: All input VCs in (port, vc) order — the order the old per-stage
+        #: loops visited them, so the fused pass below matches exactly.
+        self.channels: tuple[VirtualChannel, ...] = tuple(
+            VirtualChannel(port, v, key=int(port) * config.vcs_per_port + v)
+            for port in Port
+            for v in range(config.vcs_per_port)
+        )
+        #: Channels currently holding flits or mid-packet, kept sorted by
+        #: ``key`` so the fused pass skips idle channels without scanning.
+        self._busy: list[VirtualChannel] = []
+        #: Per-port view of the same channel objects (introspection/tests).
         self.inputs: dict[Port, list[VirtualChannel]] = {
-            port: [VirtualChannel(port, v) for v in range(config.vcs_per_port)]
+            port: [
+                self.channels[int(port) * config.vcs_per_port + v]
+                for v in range(config.vcs_per_port)
+            ]
             for port in Port
         }
         # Credits towards each downstream input buffer; LOCAL output goes to
@@ -127,6 +158,15 @@ class Router:
         }
         # Round-robin pointers for switch allocation, one per output port.
         self._sa_pointer: dict[Port, int] = {port: 0 for port in Port}
+        #: Buffered-flit counter kept in lockstep with the channel FIFOs so
+        #: ``occupancy`` is O(1) instead of a scan over every VC.
+        self._occupancy = 0
+        # Hot-loop constants hoisted out of the config dataclass.
+        self._vcs = config.vcs_per_port
+        self._buffer_depth = config.buffer_depth
+        self._pipeline_depth = config.pipeline_depth
+        self._sa_modulo = len(Port) * config.vcs_per_port
+        self._oldest_first = config.arbitration == "oldest_first"
         # Statistics
         self.flits_routed = 0
         self.buffer_writes = 0
@@ -141,26 +181,29 @@ class Router:
         Upstream credit counters normally guarantee this; exposed for the
         injection side and for assertions.
         """
-        return self.inputs[port][vc].occupancy < self.config.buffer_depth
+        return len(self.inputs[port][vc].buffer) < self.config.buffer_depth
 
     def receive_flit(self, port: Port, vc: int, flit: Flit, now: int) -> None:
         """Buffer-write stage: a flit arrives from a link or the local NI."""
-        channel = self.inputs[port][vc]
-        if channel.occupancy >= self.config.buffer_depth:
+        channel = self.channels[port * self._vcs + vc]
+        buffer = channel.buffer
+        if len(buffer) >= self._buffer_depth:
             raise RuntimeError(
                 f"router {self.tile}: buffer overflow on {port.name}.vc{vc} "
                 f"(credit protocol violated)"
             )
-        flit.ready_at = now + self.config.pipeline_depth
-        channel.buffer.append(flit)
+        flit.ready_at = now + self._pipeline_depth
+        buffer.append(flit)
+        self._occupancy += 1
         self.buffer_writes += 1
         if channel.state == _VC_IDLE:
             channel.state = _VC_ROUTING
+            insort(self._busy, channel)
 
     @property
     def occupancy(self) -> int:
         """Total buffered flits (0 means the router can be skipped)."""
-        return sum(vc.occupancy for vcs in self.inputs.values() for vc in vcs)
+        return self._occupancy
 
     # ------------------------------------------------------------------
     # Per-cycle operation
@@ -172,82 +215,97 @@ class Router:
         ``send_fn(out_port, out_vc, flit)`` hands the winning flit to the
         network (link or ejection NI); ``credit_fn(in_port, in_vc)``
         returns one credit upstream for the freed buffer slot.
+
+        All three stages run in one fused pass over ``channels``.  This is
+        behaviour-identical to running them as three separate loops: route
+        compute only touches the channel itself, VC allocation claims
+        output VCs in the same channel order, and switch candidates are
+        gathered before any winner is processed (credits and VC ownership
+        are only mutated after the gather completes).
         """
-        self._route_compute()
-        self._vc_allocate()
-        self._switch_allocate(now, send_fn, credit_fn)
+        candidates: dict[Port, list[VirtualChannel]] | None = None
+        config = self.config
+        credits = self.credits
+        owners = self.out_vc_owner
 
-    def _route_compute(self) -> None:
-        for vcs in self.inputs.values():
-            for channel in vcs:
-                if channel.state == _VC_ROUTING and channel.buffer:
-                    head = channel.buffer[0]
-                    if not head.is_head:
-                        raise RuntimeError(
-                            f"router {self.tile}: VC front is a {head.kind} flit "
-                            "but the VC has no route (wormhole ordering violated)"
-                        )
-                    channel.out_port = self._route_fn(self.tile, head.packet.dst)
-                    channel.state = "awaiting_vc"  # VC allocated in _vc_allocate
-
-    def _vc_allocate(self) -> None:
-        for vcs in self.inputs.values():
-            for channel in vcs:
-                if channel.state != "awaiting_vc":
+        for channel in self._busy:
+            state = channel.state
+            buffer = channel.buffer
+            if state == _VC_ROUTING:
+                if not buffer:
                     continue
-                owners = self.out_vc_owner[channel.out_port]
-                head = channel.buffer[0]
-                lo, hi = self.config.vc_range(int(head.packet.traffic_class))
+                head = buffer[0]
+                if not head.is_head:
+                    raise RuntimeError(
+                        f"router {self.tile}: VC front is a {head.kind} flit "
+                        "but the VC has no route (wormhole ordering violated)"
+                    )
+                channel.out_port = self._route_fn(self.tile, head.packet.dst)
+                state = channel.state = _VC_AWAITING
+            if state == _VC_AWAITING:
+                port_owners = owners[channel.out_port]
+                head = buffer[0]
+                lo, hi = config.vc_range(int(head.packet.traffic_class))
                 for out_vc in range(lo, hi):
-                    if owners[out_vc] is None:
-                        owners[out_vc] = (channel.port, channel.index)
+                    if port_owners[out_vc] is None:
+                        port_owners[out_vc] = (channel.port, channel.index)
                         channel.out_vc = out_vc
-                        channel.state = _VC_ACTIVE
+                        state = channel.state = _VC_ACTIVE
                         break
-                # If no downstream VC is free the channel retries next cycle.
+                else:
+                    # No downstream VC free: the channel retries next cycle.
+                    continue
+            # state == _VC_ACTIVE: eligible when a ready flit waits at the
+            # front and the downstream buffer has a credit.
+            if not buffer:
+                continue
+            flit = buffer[0]
+            if flit.ready_at > now:
+                continue
+            if credits[channel.out_port][channel.out_vc] <= 0:
+                continue
+            if candidates is None:
+                candidates = {}
+            if channel.out_port in candidates:
+                candidates[channel.out_port].append(channel)
+            else:
+                candidates[channel.out_port] = [channel]
 
-    def _switch_allocate(self, now: int, send_fn, credit_fn) -> None:
-        # Gather per-output-port candidates: ACTIVE VCs with an eligible
-        # flit at the front and a downstream credit available.
-        candidates: dict[Port, list[VirtualChannel]] = {}
-        for vcs in self.inputs.values():
-            for channel in vcs:
-                if channel.state != _VC_ACTIVE or not channel.buffer:
-                    continue
-                flit = channel.buffer[0]
-                if flit.ready_at > now:
-                    continue
-                if self.credits[channel.out_port][channel.out_vc] <= 0:
-                    continue
-                candidates.setdefault(channel.out_port, []).append(channel)
+        if candidates is None:
+            return
 
         for out_port, channels in candidates.items():
-            key = lambda ch: (ch.port.value * self.config.vcs_per_port + ch.index)
-            if self.config.arbitration == "oldest_first":
+            if len(channels) == 1:
+                winner = channels[0]
+                if not self._oldest_first:
+                    self._sa_pointer[out_port] = (winner.key + 1) % self._sa_modulo
+            elif self._oldest_first:
                 # Age-based: the packet waiting longest (earliest creation)
                 # wins; ties fall back to the stable VC order.
                 winner = min(
-                    channels, key=lambda ch: (ch.buffer[0].packet.created_at, key(ch))
+                    channels, key=lambda ch: (ch.buffer[0].packet.created_at, ch.key)
                 )
             else:
                 # Round-robin among competing input VCs for this output port.
-                channels.sort(key=key)
+                # Candidates are gathered in channel-array order, i.e.
+                # already sorted by key.
                 pointer = self._sa_pointer[out_port]
-                winner = min(channels, key=lambda ch: (key(ch) - pointer) % 64)
-                self._sa_pointer[out_port] = (key(winner) + 1) % (
-                    len(Port) * self.config.vcs_per_port
-                )
+                winner = min(channels, key=lambda ch: (ch.key - pointer) % 64)
+                self._sa_pointer[out_port] = (winner.key + 1) % self._sa_modulo
 
             flit = winner.buffer.popleft()
+            self._occupancy -= 1
             out_vc = winner.out_vc
-            self.credits[out_port][out_vc] -= 1
+            credits[out_port][out_vc] -= 1
             self.flits_routed += 1
             send_fn(out_port, out_vc, flit)
             if winner.port != Port.LOCAL:
                 credit_fn(winner.port, winner.index)
             if flit.is_tail:
-                self.out_vc_owner[out_port][out_vc] = None
+                owners[out_port][out_vc] = None
                 winner.reset_route()
+                if winner.state == _VC_IDLE:
+                    self._busy.remove(winner)
 
     # ------------------------------------------------------------------
     # Credit plumbing

@@ -39,13 +39,19 @@ class Port(enum.IntEnum):
 
     @property
     def opposite(self) -> "Port":
-        return {
-            Port.EAST: Port.WEST,
-            Port.WEST: Port.EAST,
-            Port.NORTH: Port.SOUTH,
-            Port.SOUTH: Port.NORTH,
-            Port.LOCAL: Port.LOCAL,
-        }[self]
+        return _OPPOSITE[self]
+
+
+#: Opposite-port lookup, indexed by port value (hot path: link arrivals).
+_OPPOSITE = (Port.LOCAL, Port.WEST, Port.EAST, Port.SOUTH, Port.NORTH)
+
+#: (row, col) step taken when leaving a tile through each port.
+_PORT_DELTAS = {
+    Port.EAST: (0, 1),
+    Port.WEST: (0, -1),
+    Port.NORTH: (-1, 0),
+    Port.SOUTH: (1, 0),
+}
 
 
 def xy_route(mesh: Mesh, current: int, dst: int) -> Port:
@@ -115,15 +121,10 @@ ROUTE_FUNCTIONS = {
 
 def next_tile(mesh: Mesh, current: int, port: Port) -> int:
     """Neighbouring tile reached by leaving ``current`` through ``port``."""
-    ci, cj = mesh.coords(current)
-    dr, dc = {
-        Port.EAST: (0, 1),
-        Port.WEST: (0, -1),
-        Port.NORTH: (-1, 0),
-        Port.SOUTH: (1, 0),
-    }.get(port, (0, 0))
     if port == Port.LOCAL:
         raise ValueError("LOCAL port does not lead to another tile")
+    ci, cj = mesh.coords(current)
+    dr, dc = _PORT_DELTAS[port]
     r, c = ci + dr, cj + dc
     if not mesh.contains(r, c):
         raise ValueError(f"port {port.name} leaves the mesh from tile {current}")

@@ -16,6 +16,7 @@ from repro.noc.network import Network, NetworkConfig
 from repro.noc.power import ActivityCounts, PowerBreakdown, PowerModel, PowerParams
 from repro.noc.stats import LatencyStats
 from repro.noc.traffic import TrafficGenerator
+from repro.utils import profiling
 
 __all__ = ["SimulationResult", "NoCSimulator"]
 
@@ -67,10 +68,11 @@ class NoCSimulator:
             raise ValueError("warmup must be >= 0 and measure > 0")
         net = self.network
 
-        for _ in range(warmup):
-            for packet in self.traffic.packets_for_cycle(net.now):
-                net.submit(packet)
-            net.step()
+        with profiling.phase("noc.warmup"):
+            for _ in range(warmup):
+                for packet in self.traffic.packets_for_cycle(net.now):
+                    net.submit(packet)
+                net.step()
         warmup_end = net.now
         delivered_before = len(net.delivered)
         flits_routed_before = sum(r.flits_routed for r in net.routers)
@@ -78,13 +80,15 @@ class NoCSimulator:
         ejected_before = net.flits_ejected
 
         offered = 0
-        for _ in range(measure):
-            for packet in self.traffic.packets_for_cycle(net.now):
-                net.submit(packet)
-                offered += 1
-            net.step()
+        with profiling.phase("noc.measure"):
+            for _ in range(measure):
+                for packet in self.traffic.packets_for_cycle(net.now):
+                    net.submit(packet)
+                    offered += 1
+                net.step()
         # Drain so every measured packet has a latency.
-        net.drain()
+        with profiling.phase("noc.drain"):
+            net.drain()
         net.assert_conserved()
         measure_cycles = measure  # activity normalised to the offered window
 

@@ -1,0 +1,121 @@
+"""Lightweight named phase timers shared by every performance-sensitive path.
+
+The library's perf work needs one consistent way to answer "where did the
+time go" — before and after every optimisation, from the same probes.  A
+:class:`PhaseProfiler` accumulates wall-clock per named phase::
+
+    with profiler.phase("noc.measure"):
+        ...
+
+Algorithms record their phase breakdown into ``MappingResult.extra`` and
+experiment harnesses into artifact JSON; the CLIs surface the global
+profiler via ``--profile``.  The module-level profiler is *disabled* by
+default and a disabled ``phase`` is a no-op context costing two attribute
+lookups, so instrumented hot paths pay nothing in normal runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "PhaseProfiler",
+    "PROFILER",
+    "enable_profiling",
+    "profiling_enabled",
+    "phase",
+    "profile_summary",
+    "reset_profiling",
+    "format_profile",
+]
+
+
+class PhaseProfiler:
+    """Accumulates (seconds, calls) per named phase."""
+
+    __slots__ = ("enabled", "_phases")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._phases: dict[str, list[float]] = {}  # name -> [seconds, calls]
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time the enclosed block under ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            entry = self._phases.get(name)
+            if entry is None:
+                self._phases[name] = [elapsed, 1]
+            else:
+                entry[0] += elapsed
+                entry[1] += 1
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        entry = self._phases.get(name)
+        if entry is None:
+            self._phases[name] = [seconds, 1]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"seconds": total, "calls": n}}``, insertion-ordered."""
+        return {
+            name: {"seconds": entry[0], "calls": int(entry[1])}
+            for name, entry in self._phases.items()
+        }
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+
+#: The process-global profiler the ``--profile`` CLI flags enable.
+PROFILER = PhaseProfiler(enabled=False)
+
+
+def enable_profiling(enabled: bool = True) -> None:
+    """Turn the global profiler on or off (CLI ``--profile`` entry point)."""
+    PROFILER.enabled = enabled
+
+
+def profiling_enabled() -> bool:
+    return PROFILER.enabled
+
+
+def phase(name: str):
+    """``with phase("noc.measure"):`` against the global profiler."""
+    return PROFILER.phase(name)
+
+
+def profile_summary() -> dict[str, dict[str, float]]:
+    return PROFILER.summary()
+
+
+def reset_profiling() -> None:
+    PROFILER.reset()
+
+
+def format_profile(summary: dict[str, dict[str, float]] | None = None) -> str:
+    """Render a phase summary as an aligned text block."""
+    summary = PROFILER.summary() if summary is None else summary
+    if not summary:
+        return "(no phases recorded)"
+    width = max(len(name) for name in summary)
+    lines = ["phase timings:"]
+    for name, entry in sorted(
+        summary.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        lines.append(
+            f"  {name:<{width}}  {entry['seconds'] * 1e3:10.1f} ms"
+            f"  ({entry['calls']} calls)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Determinism of the parallel experiment runner.
+
+The contract of :mod:`repro.experiments.parallel` is that ``workers=N``
+is purely a wall-clock knob: every harness that accepts it must produce
+byte-for-byte identical results for any worker count.  These tests pin
+that contract at every integration point — the raw ``parallel_map``, the
+figure harnesses, the artifact writer, and ``multi_start_sss``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import multi_start_sss
+from repro.core.workload import Application, Workload
+from repro.experiments.artifacts import write_artifacts
+from repro.experiments.figures import fig9
+from repro.experiments.parallel import (
+    cell_seeds,
+    parallel_map,
+    resolve_workers,
+    supports_workers,
+)
+
+
+def _square(x: int) -> int:  # module-level: picklable for worker processes
+    return x * x
+
+
+def _small_instance() -> OBMInstance:
+    rng = np.random.default_rng(7)
+    model = MeshLatencyModel(Mesh.square(4))
+    apps = tuple(
+        Application(f"a{i}", rng.uniform(1, 5, 4), rng.uniform(0.1, 0.5, 4))
+        for i in range(4)
+    )
+    return OBMInstance(model, Workload(apps))
+
+
+class TestParallelMap:
+    def test_serial_is_plain_map(self):
+        assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        cells = list(range(10))
+        assert parallel_map(_square, cells, workers=4) == [c * c for c in cells]
+
+    def test_parallel_matches_serial(self):
+        cells = [5, 3, 8, 1]
+        assert parallel_map(_square, cells, workers=2) == parallel_map(
+            _square, cells, workers=1
+        )
+
+    def test_empty_and_single_cell(self):
+        assert parallel_map(_square, [], workers=4) == []
+        assert parallel_map(_square, [6], workers=4) == [36]
+
+
+class TestWorkerKnobs:
+    def test_resolve_workers_passthrough_and_zero(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1  # one per CPU
+
+    def test_resolve_workers_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 1
+
+    def test_resolve_workers_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_cell_seeds_stable_and_order_independent(self):
+        seeds = cell_seeds("fig9", ["C1", "C2", "C3"])
+        assert seeds == cell_seeds("fig9", ["C1", "C2", "C3"])
+        assert len(set(seeds)) == 3
+        # A cell's seed does not depend on which other cells run.
+        assert cell_seeds("fig9", ["C2"])[0] == seeds[1]
+        # ...but does depend on the tag.
+        assert cell_seeds("fig10", ["C1"])[0] != seeds[0]
+
+    def test_supports_workers_detection(self):
+        assert supports_workers(fig9)
+        assert not supports_workers(_square)
+        assert not supports_workers(lambda fast=False: None)
+
+
+class TestHarnessDeterminism:
+    def test_fig9_workers_identical(self):
+        serial = fig9(fast=True)
+        fanned = fig9(fast=True, workers=4)
+        assert fanned.data == serial.data
+        assert fanned.text == serial.text
+
+    def test_artifacts_byte_identical(self, tmp_path):
+        write_artifacts(tmp_path / "serial", ["fig9"], fast=True, workers=1)
+        write_artifacts(tmp_path / "fanned", ["fig9"], fast=True, workers=2)
+        for name in ("fig9.json", "fig9.txt", "INDEX.txt"):
+            assert (tmp_path / "fanned" / name).read_bytes() == (
+                tmp_path / "serial" / name
+            ).read_bytes()
+
+    def test_multi_start_sss_workers_identical(self):
+        instance = _small_instance()
+        serial = multi_start_sss(instance, n_starts=4, seed=3)
+        fanned = multi_start_sss(instance, n_starts=4, seed=3, workers=4)
+        assert np.array_equal(fanned.mapping.perm, serial.mapping.perm)
+        assert fanned.max_apl == serial.max_apl
+        assert fanned.evaluation.apls == pytest.approx(serial.evaluation.apls)
