@@ -10,6 +10,10 @@ Commands
     Evaluate a stored mapping JSON against a workload.
 ``bound``
     Print the certified lower bound and the gap of each algorithm.
+``simulate``
+    Map a workload, then run the cycle-level NoC simulator on the result —
+    optionally with fault injection (link outages, router stalls, flit
+    drops) and runtime invariant checking.
 ``experiments``
     Alias of ``python -m repro.experiments``.
 """
@@ -83,6 +87,76 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _parse_link_down(spec: str):
+    from repro.noc import LinkDownWindow, Port
+
+    try:
+        tile, port, start, end = spec.split(":")
+        return LinkDownWindow(int(tile), Port[port.upper()], int(start), int(end))
+    except (ValueError, KeyError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected TILE:PORT:START:END (e.g. 5:EAST:100:400), got {spec!r}"
+        ) from exc
+
+
+def _parse_stall(spec: str):
+    from repro.noc import RouterStallWindow
+
+    try:
+        tile, start, end = spec.split(":")
+        return RouterStallWindow(int(tile), int(start), int(end))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected TILE:START:END (e.g. 12:0:500), got {spec!r}"
+        ) from exc
+
+
+def _cmd_simulate(args) -> int:
+    from repro.noc import (
+        FaultConfig,
+        FaultSchedule,
+        MappedWorkloadTraffic,
+        NoCSimulator,
+    )
+
+    instance = _build_instance(args)
+    with profiling.phase("simulate.map"):
+        result = ALGORITHMS[args.algorithm](instance)
+    print(f"{args.algorithm}: max-APL {result.max_apl:.3f} (modelled)")
+
+    schedule = FaultSchedule(
+        link_windows=tuple(args.link_down or ()),
+        stall_windows=tuple(args.stall or ()),
+        config=FaultConfig(
+            drop_rate=args.drop_rate,
+            max_retries=args.max_retries,
+            seed=args.fault_seed,
+        ),
+    )
+    traffic = MappedWorkloadTraffic(instance, result.mapping, seed=args.seed)
+    sim = NoCSimulator(
+        instance.mesh,
+        traffic,
+        faults=None if schedule.is_trivial else schedule,
+        invariants=args.invariants or None,
+    )
+    with profiling.phase("simulate.noc"):
+        measured = sim.run(warmup=args.warmup, measure=args.measure)
+
+    print()
+    print(measured.stats.report())
+    print(
+        f"delivery: {measured.packets_delivered}/{measured.packets_offered} "
+        f"({measured.delivery_ratio:.1%}), {measured.packets_lost} lost"
+    )
+    if measured.fault_stats is not None:
+        print()
+        print(measured.fault_stats.report())
+    if args.invariants:
+        print(f"invariant sweeps completed: {measured.invariant_checks}")
+    return 0
+
+
 def _cmd_bound(args) -> int:
     instance = _build_instance(args)
     lb = max_apl_lower_bound(instance)
@@ -127,6 +201,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_eval)
     p_eval.add_argument("mapping", help="mapping JSON path")
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_sim = sub.add_parser(
+        "simulate", help="cycle-level NoC run with optional faults/invariants"
+    )
+    add_common(p_sim)
+    p_sim.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="sss")
+    p_sim.add_argument("--warmup", type=int, default=1_000)
+    p_sim.add_argument("--measure", type=int, default=5_000)
+    p_sim.add_argument("--seed", type=int, default=0, help="traffic seed")
+    p_sim.add_argument(
+        "--invariants", action="store_true",
+        help="enable runtime invariant checking (conservation, credits, watchdog)",
+    )
+    p_sim.add_argument(
+        "--link-down", action="append", type=_parse_link_down, metavar="T:PORT:S:E",
+        help="link outage window TILE:PORT:START:END; repeatable",
+    )
+    p_sim.add_argument(
+        "--stall", action="append", type=_parse_stall, metavar="T:S:E",
+        help="router stall window TILE:START:END; repeatable",
+    )
+    p_sim.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="per-link-traversal flit drop probability",
+    )
+    p_sim.add_argument("--max-retries", type=int, default=3)
+    p_sim.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the drop generator"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
 
     p_bound = sub.add_parser("bound", help="lower bound + per-algorithm gaps")
     add_common(p_bound)

@@ -19,6 +19,15 @@ make it easy to honour:
 no processes, no pickling — which keeps the serial path the reference
 implementation.  Cell functions must be module-level (picklable) when
 ``workers > 1``.
+
+Long campaigns additionally get *bounded* failure handling: a per-task
+``timeout`` (seconds) and a ``retries`` budget.  A cell that times out or
+raises is resubmitted up to ``retries`` times; a worker crash
+(``BrokenProcessPool``) replaces the executor and resubmits every
+unfinished cell.  Retry semantics are safe precisely because of the
+determinism contract above — re-running a cell yields the same value, so
+a retry can only turn a transient failure into the correct result, never
+a different one.
 """
 
 from __future__ import annotations
@@ -26,11 +35,49 @@ from __future__ import annotations
 import inspect
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.utils.rng import stable_seed
 
-__all__ = ["parallel_map", "cell_seeds", "resolve_workers", "supports_workers"]
+__all__ = [
+    "CellFailure",
+    "parallel_map",
+    "cell_seeds",
+    "resolve_workers",
+    "supports_workers",
+]
+
+
+class CellFailure(RuntimeError):
+    """A cell exhausted its retry budget.  ``index``/``cell`` identify it."""
+
+    def __init__(self, index: int, cell, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"cell {index} ({cell!r}) failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.cell = cell
+        self.attempts = attempts
+        self.cause = cause
+
+
+def _resolve_timeout(timeout: float | None) -> float | None:
+    if timeout is None:
+        raw = os.environ.get("REPRO_TASK_TIMEOUT", "")
+        timeout = float(raw) if raw else None
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    return timeout
+
+
+def _resolve_retries(retries: int | None) -> int:
+    if retries is None:
+        retries = int(os.environ.get("REPRO_TASK_RETRIES", "0"))
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return retries
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -53,6 +100,9 @@ def parallel_map(
     cells: Iterable,
     *,
     workers: int | None = 1,
+    timeout: float | None = None,
+    retries: int | None = None,
+    on_failure: str = "raise",
 ) -> list:
     """``[fn(cell) for cell in cells]``, optionally across processes.
 
@@ -61,16 +111,111 @@ def parallel_map(
     the list comprehension (no executor, no pickling), so the serial path
     stays the reference implementation and the parallel path is only ever
     a wall-clock optimisation.
+
+    Failure handling (long campaigns):
+
+    * ``timeout`` — seconds to wait for a cell's result once collection
+      reaches it (``None``: wait forever; env fallback
+      ``REPRO_TASK_TIMEOUT``).  A timed-out cell counts as a failed
+      attempt; the executor is replaced, since the wedged worker cannot
+      be reclaimed, and every unfinished cell is resubmitted.  Only the
+      process pool can enforce this — the serial path ignores ``timeout``
+      (nothing can preempt an in-process call).
+    * ``retries`` — extra attempts per cell after its first failure
+      (default 0; env fallback ``REPRO_TASK_RETRIES``).
+    * ``on_failure`` — ``"raise"`` (default) raises :class:`CellFailure`
+      once a cell exhausts its budget; ``"none"`` records ``None`` for
+      that cell and keeps going.
+
+    A worker crash (:class:`BrokenProcessPool`) also replaces the
+    executor and resubmits unfinished cells, charging an attempt only to
+    the cell whose collection observed the crash.
     """
     cells = list(cells)
     workers = resolve_workers(workers)
+    timeout = _resolve_timeout(timeout)
+    retries = _resolve_retries(retries)
+    if on_failure not in ("raise", "none"):
+        raise ValueError(f"on_failure must be 'raise' or 'none', got {on_failure!r}")
     if workers <= 1 or len(cells) <= 1:
-        return [fn(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as executor:
-        # Submit everything up front and collect in submission order:
-        # identical result sequence to the serial loop.
-        futures = [executor.submit(fn, cell) for cell in cells]
-        return [future.result() for future in futures]
+        results = []
+        for index, cell in enumerate(cells):
+            for attempt in range(1, retries + 2):
+                try:
+                    results.append(fn(cell))
+                    break
+                except Exception as exc:
+                    if attempt <= retries:
+                        continue
+                    if on_failure == "none":
+                        results.append(None)
+                        break
+                    raise CellFailure(index, cell, attempt, exc) from exc
+        return results
+    return _parallel_run(
+        fn, cells, min(workers, len(cells)), timeout, retries, on_failure
+    )
+
+
+def _parallel_run(
+    fn: Callable,
+    cells: list,
+    max_workers: int,
+    timeout: float | None,
+    retries: int,
+    on_failure: str,
+) -> list:
+    results: list = [None] * len(cells)
+    done = [False] * len(cells)
+    attempts = [0] * len(cells)
+    executor = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = {i: executor.submit(fn, cells[i]) for i in range(len(cells))}
+        while True:
+            pending = [i for i in range(len(cells)) if not done[i]]
+            if not pending:
+                break
+            replace_pool = False
+            for i in pending:
+                if done[i]:  # salvaged during a pool replacement below
+                    continue
+                try:
+                    results[i] = futures[i].result(timeout=timeout)
+                    done[i] = True
+                    continue
+                except (FutureTimeout, BrokenProcessPool) as exc:
+                    failure = exc
+                    replace_pool = True  # wedged/dead worker: pool is unusable
+                except Exception as exc:
+                    failure = exc  # the cell itself raised; pool is fine
+                attempts[i] += 1
+                if attempts[i] > retries:
+                    done[i] = True
+                    if on_failure == "raise":
+                        raise CellFailure(i, cells[i], attempts[i], failure) from failure
+                elif not replace_pool:
+                    futures[i] = executor.submit(fn, cells[i])
+                if replace_pool:
+                    # Salvage everything that already finished, then restart
+                    # the pool and resubmit the rest from the outer loop.
+                    for j in range(len(cells)):
+                        if not done[j] and j != i and futures[j].done():
+                            try:
+                                results[j] = futures[j].result()
+                                done[j] = True
+                            except Exception:
+                                pass  # retried on the fresh pool
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=max_workers)
+                    futures = {
+                        j: executor.submit(fn, cells[j])
+                        for j in range(len(cells))
+                        if not done[j]
+                    }
+                    break  # restart collection over the new futures
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results
 
 
 def cell_seeds(tag: str, labels: Sequence) -> list[int]:

@@ -12,6 +12,15 @@ from repro.noc.closedloop import (
     ClosedLoopResult,
     ClosedLoopSimulator,
 )
+from repro.noc.faults import (
+    FaultConfig,
+    FaultManager,
+    FaultSchedule,
+    LinkDownWindow,
+    RouterStallWindow,
+    detour_port,
+)
+from repro.noc.invariants import InvariantChecker, InvariantConfig, InvariantViolation
 from repro.noc.network import Network, NetworkConfig, NetworkInterface
 from repro.noc.packet import Flit, Packet, TrafficClass
 from repro.noc.power import ActivityCounts, PowerBreakdown, PowerModel, PowerParams
@@ -27,7 +36,7 @@ from repro.noc.routing import (
 from repro.noc.telemetry import NetworkTelemetry, TelemetrySnapshot
 from repro.noc.transactions import Transaction, TransactionTracker
 from repro.noc.simulator import NoCSimulator, SimulationResult
-from repro.noc.stats import LatencyStats, LatencySummary
+from repro.noc.stats import FaultStats, LatencyStats, LatencySummary
 from repro.noc.traffic import (
     MappedWorkloadTraffic,
     NearestMCTraffic,
@@ -41,9 +50,18 @@ __all__ = [
     "ClosedLoopConfig",
     "ClosedLoopResult",
     "ClosedLoopSimulator",
+    "FaultConfig",
+    "FaultManager",
+    "FaultSchedule",
+    "FaultStats",
     "Flit",
+    "InvariantChecker",
+    "InvariantConfig",
+    "InvariantViolation",
     "LatencyStats",
     "LatencySummary",
+    "LinkDownWindow",
+    "RouterStallWindow",
     "MappedWorkloadTraffic",
     "NearestMCTraffic",
     "Network",
@@ -68,6 +86,7 @@ __all__ = [
     "TransposeTraffic",
     "UniformRandomTraffic",
     "VirtualChannel",
+    "detour_port",
     "route_path",
     "west_first_route",
     "xy_route",

@@ -1,0 +1,268 @@
+"""Runtime invariant checking for the cycle-level NoC engine.
+
+The fast-path engine earns its speed from incremental bookkeeping (active
+sets, O(1) occupancy counters, busy-link maps).  This module re-derives
+the ground truth from first principles and compares, every
+``check_interval`` cycles, over the **active set only** — so a clean,
+quiet network pays near-zero cost while any bookkeeping drift, credit
+leak, or protocol violation is caught within one interval:
+
+* **Flit conservation** — every flit ever injected is buffered in a
+  router, in flight on a link, already ejected, or deliberately dropped
+  by fault injection.
+* **Credit conservation** — for every live link, the upstream credit
+  counter plus in-flight flits plus the downstream buffer occupancy
+  equals the configured buffer depth, per VC.
+* **Occupancy bounds** — no VC buffer exceeds ``buffer_depth``; no credit
+  counter leaves ``[0, buffer_depth]``; each router's O(1) occupancy
+  counter matches a recount of its buffers.
+* **Per-packet latency sanity** — a delivered packet's network latency is
+  at least the Section II.C zero-load bound
+  ``(hops+1)*pipeline + hops*link + (flits-1)`` (contention and faults
+  only add to it; minimal-hop distance is a floor even for detours).
+* **Deadlock/livelock watchdog** — if flits are in flight (or NACKs are
+  pending) and *nothing has moved* for ``watchdog_cycles``, the checker
+  raises with a full router-state dump (see :meth:`InvariantChecker.dump_state`)
+  so the stuck configuration can be triaged offline.
+
+Enable via ``Network(..., invariants=True)`` /
+``NoCSimulator(..., invariants=True)`` or pass an
+:class:`InvariantConfig` for custom thresholds.  Violations raise
+:class:`InvariantViolation` (an ``AssertionError`` subclass, so plain
+``pytest`` semantics apply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.routing import Port
+
+__all__ = ["InvariantConfig", "InvariantViolation", "InvariantChecker"]
+
+_DIRECTIONS = (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH)
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant failed.  ``dump`` carries the state snapshot."""
+
+    def __init__(self, message: str, dump: str | None = None) -> None:
+        super().__init__(message if dump is None else f"{message}\n{dump}")
+        self.summary = message
+        self.dump = dump
+
+
+@dataclass(frozen=True)
+class InvariantConfig:
+    """Which checks run, and how often."""
+
+    check_interval: int = 16  #: steps between full sweeps (1 = every cycle)
+    watchdog_cycles: int = 20_000  #: no-progress window before tripping
+    check_conservation: bool = True
+    check_credits: bool = True
+    check_occupancy: bool = True
+    check_latency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        if self.watchdog_cycles < 1:
+            raise ValueError("watchdog_cycles must be >= 1")
+
+
+class InvariantChecker:
+    """Attached to one network; driven from the end of ``Network.step``.
+
+    The watchdog must outlast the longest scheduled router stall — a
+    stalled router legitimately moves nothing for its whole window.
+    """
+
+    def __init__(self, network, config: InvariantConfig | None = None) -> None:
+        self.network = network
+        self.config = config or InvariantConfig()
+        self.checks_run = 0  #: completed full sweeps
+        self.packets_checked = 0  #: delivered packets latency-checked
+        self.last_progress = network.now  #: last cycle any flit moved
+        self.last_dump: str | None = None
+        self._steps = 0
+        # Zero-load latency model constants (Section II.C).
+        cfg = network.config
+        self._pipeline = cfg.router.pipeline_depth
+        self._link = cfg.link_latency
+
+    # ------------------------------------------------------------------
+    # Hooks called by the network
+    # ------------------------------------------------------------------
+
+    def after_step(self) -> None:
+        """Per-cycle hook: progress tracking plus periodic full sweeps."""
+        net = self.network
+        if net._moved:
+            self.last_progress = net.now
+        elif self._outstanding_work():
+            stalled_for = net.now - self.last_progress
+            if stalled_for > self.config.watchdog_cycles:
+                self._trip(
+                    f"watchdog: no flit moved for {stalled_for} cycles with "
+                    "traffic outstanding (deadlock or livelock)"
+                )
+        self._steps += 1
+        if self._steps % self.config.check_interval == 0:
+            self.sweep()
+
+    def on_delivered(self, packet) -> None:
+        """Latency floor for a packet that actually crossed the network."""
+        if not self.config.check_latency:
+            return
+        net = self.network
+        hops = net.mesh.hops(packet.src, packet.dst)
+        floor = (hops + 1) * self._pipeline + hops * self._link + (packet.length - 1)
+        if packet.network_latency < floor:
+            self._trip(
+                f"packet {packet.pid} ({packet.src}->{packet.dst}, "
+                f"{packet.length} flits) finished in {packet.network_latency} "
+                f"cycles, below the {floor}-cycle zero-load floor"
+            )
+        self.packets_checked += 1
+
+    # ------------------------------------------------------------------
+    # The sweep itself
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> None:
+        """One full pass of every enabled structural check (active set only)."""
+        net = self.network
+        cfg = self.config
+        depth = net.config.router.buffer_depth
+        buffered = 0
+        for tile in net._active:
+            router = net.routers[tile]
+            recount = 0
+            for channel in router.channels:
+                n = len(channel.buffer)
+                recount += n
+                if cfg.check_occupancy and n > depth:
+                    self._trip(
+                        f"router {tile} {channel.port.name}.vc{channel.index} "
+                        f"holds {n} flits > buffer depth {depth}"
+                    )
+            if cfg.check_occupancy and recount != router._occupancy:
+                self._trip(
+                    f"router {tile} occupancy counter {router._occupancy} != "
+                    f"recount {recount}"
+                )
+            buffered += recount
+            if cfg.check_credits:
+                self._check_credits(tile, router, depth)
+        on_links = 0
+        for (tile, port), (link, dst_tile, in_port) in net._busy_links.items():
+            on_links += len(link.in_flight)
+        if cfg.check_conservation:
+            in_flight = buffered + on_links
+            expected = net.flits_ejected + net.flits_dropped + in_flight
+            if net.flits_injected != expected:
+                self._trip(
+                    f"flit conservation violated: injected={net.flits_injected} "
+                    f"!= ejected={net.flits_ejected} + dropped={net.flits_dropped}"
+                    f" + in_flight={in_flight}"
+                )
+        self.checks_run += 1
+
+    def _check_credits(self, tile: int, router, depth: int) -> None:
+        """Credits + wire occupancy + downstream buffer == depth, per VC."""
+        net = self.network
+        vcs = router.config.vcs_per_port
+        for port in _DIRECTIONS:
+            neighbor = net._neighbor[tile][port]
+            if neighbor is None:
+                continue
+            link = net.links[(tile, port)]
+            on_wire = [0] * vcs
+            for _, vc, _flit in link.in_flight:
+                on_wire[vc] += 1
+            downstream = net.routers[neighbor].inputs[port.opposite]
+            for vc in range(vcs):
+                credit = router.credits[port][vc]
+                if not 0 <= credit <= depth:
+                    self._trip(
+                        f"router {tile} credit {credit} for "
+                        f"{port.name}.vc{vc} outside [0, {depth}]"
+                    )
+                total = credit + on_wire[vc] + len(downstream[vc].buffer)
+                if total != depth:
+                    self._trip(
+                        f"credit conservation violated on link {tile}->"
+                        f"{neighbor} vc{vc}: credits={credit} + wire="
+                        f"{on_wire[vc]} + downstream buffer="
+                        f"{len(downstream[vc].buffer)} != depth {depth}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def _outstanding_work(self) -> bool:
+        net = self.network
+        if net._active:
+            return True
+        faults = net._faults
+        return faults is not None and faults.has_pending()
+
+    def _trip(self, message: str) -> None:
+        self.last_dump = self.dump_state()
+        raise InvariantViolation(message, self.last_dump)
+
+    def dump_state(self) -> str:
+        """Human-readable snapshot of everything that could be wedged.
+
+        Deterministic runs replay exactly: re-running the same network
+        configuration, traffic seed, and fault schedule reproduces this
+        state at the same cycle, so the dump doubles as a repro recipe.
+        """
+        net = self.network
+        lines = [
+            f"=== invariant dump @ cycle {net.now} ===",
+            f"active tiles: {sorted(net._active)}",
+            f"flits: injected={net.flits_injected} ejected={net.flits_ejected} "
+            f"dropped={net.flits_dropped}",
+        ]
+        if net._stalled:
+            lines.append(f"stalled routers: {sorted(net._stalled)}")
+        if net._down_links:
+            lines.append(
+                "down links: "
+                + ", ".join(f"{t}:{p.name}" for t, p in sorted(net._down_links))
+            )
+        for tile in sorted(net._active):
+            router = net.routers[tile]
+            ni = net.interfaces[tile]
+            lines.append(
+                f"router {tile}: occupancy={router._occupancy} "
+                f"ni_queue={len(ni.queue)}"
+                + (" ni_mid_packet" if ni._current else "")
+            )
+            for channel in router._busy:
+                head = channel.buffer[0] if channel.buffer else None
+                lines.append(
+                    f"  {channel.port.name}.vc{channel.index} "
+                    f"state={channel.state} pkt={channel.current_pid} "
+                    f"out={channel.out_port.name if channel.out_port is not None else '-'}"
+                    f".{channel.out_vc if channel.out_vc is not None else '-'} "
+                    f"buffered={len(channel.buffer)}"
+                    + (f" head_ready_at={head.ready_at}" if head else "")
+                )
+            for port in _DIRECTIONS:
+                if net._neighbor[tile][port] is not None:
+                    lines.append(
+                        f"  credits {port.name}: {router.credits[port]}"
+                    )
+        for (tile, port), (link, dst_tile, _) in sorted(net._busy_links.items()):
+            arrivals = [f"pkt{f.packet.pid}@{t}" for t, _, f in link.in_flight]
+            lines.append(
+                f"link {tile}->{dst_tile} ({port.name}): {', '.join(arrivals)}"
+            )
+        faults = net._faults
+        if faults is not None and faults._nacks:
+            pending = {t: len(ps) for t, ps in sorted(faults._nacks.items())}
+            lines.append(f"pending NACKs (cycle -> count): {pending}")
+        return "\n".join(lines)

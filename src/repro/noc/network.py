@@ -23,6 +23,16 @@ Fast-path engineering (all bit-identical to the straightforward loops):
   moved and the next time-driven event — a link arrival or a pipeline
   ``ready_at`` — is known), which costs nothing at the paper's loads but
   caps the tail of nearly-quiescent drains.
+
+Resilience hooks (both off by default, and free when off):
+
+* ``faults=`` attaches a :class:`~repro.noc.faults.FaultSchedule` —
+  link outages with degraded-mode rerouting, router stalls, stochastic
+  flit drops, and the NACK/retry recovery protocol;
+* ``invariants=`` attaches an
+  :class:`~repro.noc.invariants.InvariantChecker` asserting flit/credit
+  conservation, buffer bounds, latency floors and a deadlock watchdog
+  over the active set.
 """
 
 from __future__ import annotations
@@ -165,22 +175,70 @@ class _Link:
 class Network:
     """The full mesh NoC: routers, links, NIs, and the cycle loop."""
 
-    def __init__(self, mesh: Mesh, config: NetworkConfig | None = None) -> None:
+    def __init__(
+        self,
+        mesh: Mesh,
+        config: NetworkConfig | None = None,
+        *,
+        faults=None,
+        invariants=None,
+    ) -> None:
         from repro.noc.routing import ROUTE_FUNCTIONS
 
         self.mesh = mesh
         self.config = config or NetworkConfig()
         route_fn = ROUTE_FUNCTIONS[self.config.routing]
+        # Fault state first: the route closure consults it when (and only
+        # when) a fault schedule is attached.
+        self._faults = self._make_fault_manager(faults)
+        #: Links currently down: set of (tile, Port).
+        self._down_links: set[tuple[int, Port]] = set()
+        #: Routers whose pipelines are currently frozen.
+        self._stalled: set[int] = set()
+        #: Packets torn down this cycle, awaiting network-wide purge.
+        self._pending_drops: list[Packet] = []
+        self.flits_dropped = 0
+
         # Routes are deterministic per (tile, dst): memoise them so the mesh
         # coordinate arithmetic runs once per pair, not once per head flit.
         route_cache: dict[tuple[int, int], Port] = {}
+        self._route_cache = route_cache
 
-        def route(tile: int, dst: int) -> Port:
-            key = (tile, dst)
-            port = route_cache.get(key)
-            if port is None:
-                port = route_cache[key] = route_fn(mesh, tile, dst)
-            return port
+        if self._faults is None:
+
+            def route(tile: int, dst: int) -> Port:
+                key = (tile, dst)
+                port = route_cache.get(key)
+                if port is None:
+                    port = route_cache[key] = route_fn(mesh, tile, dst)
+                return port
+
+        else:
+            # Fault-aware variant: steer head flits off dead links.  The
+            # cache stays valid between link events (it is cleared on
+            # every up/down transition).
+            from repro.noc.faults import detour_port
+
+            down = self._down_links
+            stats = self._faults.stats
+
+            def route(tile: int, dst: int) -> Port:
+                key = (tile, dst)
+                port = route_cache.get(key)
+                if port is None:
+                    port = route_fn(mesh, tile, dst)
+                    if port != Port.LOCAL and (tile, port) in down:
+                        alt = detour_port(
+                            mesh, tile, dst, lambda t, p: (t, p) not in down, port
+                        )
+                        if alt is not None:
+                            port = alt
+                            stats.reroutes += 1
+                        # else: fully cut off — keep the dead port; the
+                        # send path drops the flit and NACK/retry recovers
+                        # once connectivity returns.
+                    route_cache[key] = port
+                return port
 
         self.routers = [
             Router(t, self.config.router, route) for t in range(mesh.n_tiles)
@@ -214,6 +272,53 @@ class Network:
         self._moved = 0
         self._send_fns = [self._make_send(t) for t in range(mesh.n_tiles)]
         self._credit_fns = [self._make_credit(t) for t in range(mesh.n_tiles)]
+        self._invariants = self._make_invariants(invariants)
+
+    def _make_fault_manager(self, faults):
+        """Coerce the ``faults=`` argument into an attached FaultManager."""
+        if faults is None:
+            return None
+        from repro.noc.faults import FaultManager, FaultSchedule
+
+        if isinstance(faults, FaultManager):
+            return faults
+        if isinstance(faults, FaultSchedule):
+            return FaultManager(faults)
+        raise TypeError(
+            f"faults must be a FaultSchedule or FaultManager, got {type(faults)!r}"
+        )
+
+    def _make_invariants(self, invariants):
+        """Coerce the ``invariants=`` argument into an attached checker."""
+        if invariants is None or invariants is False:
+            return None
+        from repro.noc.invariants import InvariantChecker, InvariantConfig
+
+        if invariants is True:
+            return InvariantChecker(self)
+        if isinstance(invariants, InvariantConfig):
+            return InvariantChecker(self, invariants)
+        if isinstance(invariants, InvariantChecker):
+            return invariants
+        raise TypeError(
+            "invariants must be a bool, InvariantConfig or InvariantChecker, "
+            f"got {type(invariants)!r}"
+        )
+
+    @property
+    def fault_stats(self):
+        """Fault counters, or None when no schedule is attached."""
+        return None if self._faults is None else self._faults.stats
+
+    @property
+    def invariants(self):
+        """The attached invariant checker, or None."""
+        return self._invariants
+
+    @property
+    def lost_packets(self) -> list[Packet]:
+        """Packets abandoned after exhausting their retry budget."""
+        return [] if self._faults is None else self._faults.lost_packets
 
     # ------------------------------------------------------------------
     # Packet entry points
@@ -242,6 +347,12 @@ class Network:
         now = self.now
         self._moved = 0
         routers = self.routers
+
+        # 0. Fault phase: link up/down and stall transitions scheduled for
+        # this cycle, plus NACK deliveries (packet retries).  Absent a
+        # fault schedule this is a single attribute check.
+        if self._faults is not None:
+            self._faults.advance(self, now)
 
         # 1. Link arrivals -> downstream buffer writes (busy links only).
         if self._busy_links:
@@ -275,13 +386,22 @@ class Network:
                     self.flits_injected += 1
                     self._moved += 1
 
-            # 3. Router pipelines (only routers holding flits do any work).
+            # 3. Router pipelines (only routers holding flits do any work;
+            # stalled routers freeze — their buffers keep latching arrivals
+            # but nothing advances).
             send_fns = self._send_fns
             credit_fns = self._credit_fns
+            stalled = self._stalled
             for tile in active_tiles:
                 router = routers[tile]
-                if router._occupancy:
+                if router._occupancy and not (stalled and tile in stalled):
                     router.step(now, send_fns[tile], credit_fns[tile])
+
+            # 3b. Teardown of packets that lost a flit this cycle (drops
+            # are recorded during the router loop, purged after it so the
+            # in-progress switch allocation never sees mutated state).
+            if self._pending_drops:
+                self._process_drops(now)
 
             # 4. Retire idle tiles from the active set.
             outflight = self._tile_outflight
@@ -293,6 +413,10 @@ class Network:
                         discard(tile)
 
         self.now = now + 1
+        if self._faults is not None and self._moved:
+            self._faults.last_progress = now
+        if self._invariants is not None:
+            self._invariants.after_step()
 
     def run(self, cycles: int) -> None:
         """Advance by ``cycles`` cycles."""
@@ -310,17 +434,26 @@ class Network:
         stepping cycle by cycle.
         """
         start = self.now
-        while self._active:
+        faults = self._faults
+        while self._active or (faults is not None and faults.has_pending()):
             if self.now - start > max_cycles:
                 raise RuntimeError(
                     f"network failed to drain within {max_cycles} cycles "
                     "(possible deadlock or livelock)"
                 )
             self.step()
-            if self._moved == 0 and self._active:
+            if self._moved == 0 and (
+                self._active or (faults is not None and faults.has_pending())
+            ):
                 nxt = self._next_event_time()
                 if nxt is not None and nxt > self.now:
                     self.now = nxt
+                    if faults is not None:
+                        # The skipped span was provably event-free — an
+                        # idle wait, not a deadlock.  Without this reset a
+                        # long jump (e.g. to a distant link-up) would look
+                        # like recovery_cycles of zero progress.
+                        faults.last_progress = nxt
 
     def _next_event_time(self) -> int | None:
         """Earliest future cycle at which a flit could move on its own."""
@@ -343,7 +476,107 @@ class Network:
                     t = channel.buffer[0].ready_at
                     if best is None or t < best:
                         best = t
+        if self._faults is not None:
+            # Scheduled link/stall transitions and pending NACKs are
+            # time-driven events too: fast-forwarding past one would skip
+            # a retry or leave a link state change unapplied.
+            t = self._faults.next_event_time()
+            if t is not None and (best is None or t < best):
+                best = t
         return best
+
+    # ------------------------------------------------------------------
+    # Fault plumbing (cold path — reached only on an actual fault event)
+    # ------------------------------------------------------------------
+
+    def _set_link_down(self, tile: int, port: Port) -> None:
+        """Take the link leaving ``tile`` through ``port`` out of service."""
+        key = (tile, port)
+        if key not in self.links or key in self._down_links:
+            return
+        self._down_links.add(key)
+        self._route_cache.clear()
+        self._faults.stats.link_down_events += 1
+        # Channels that routed towards the dead link but have not started
+        # streaming simply re-route; channels mid-packet (and flits caught
+        # on the wire) lose their packet to teardown + NACK.
+        self.routers[tile].reroute_awaiting(port)
+        victims: dict[int, Packet] = {}
+        for channel in self.routers[tile]._busy:
+            if (
+                channel.state == _VC_ACTIVE
+                and channel.out_port == port
+                and channel.current_pid is not None
+            ):
+                packet = channel.buffer[0].packet if channel.buffer else None
+                if packet is not None and packet.pid == channel.current_pid:
+                    victims[packet.pid] = packet
+        link = self.links[key]
+        for _, _, flit in link.in_flight:
+            victims[flit.packet.pid] = flit.packet
+        for packet in victims.values():
+            self._teardown_packet(packet)
+            self._faults.schedule_nack(packet, self.now)
+
+    def _set_link_up(self, tile: int, port: Port) -> None:
+        """Return a downed link to service."""
+        key = (tile, port)
+        if key not in self._down_links:
+            return
+        self._down_links.discard(key)
+        self._route_cache.clear()
+        self._faults.stats.link_up_events += 1
+
+    def _process_drops(self, now: int) -> None:
+        """Tear down and NACK every packet that lost a flit this cycle."""
+        seen: set[int] = set()
+        for packet in self._pending_drops:
+            if packet.pid in seen:
+                continue
+            seen.add(packet.pid)
+            self._teardown_packet(packet)
+            self._faults.schedule_nack(packet, now)
+        self._pending_drops.clear()
+
+    def _teardown_packet(self, packet: Packet) -> int:
+        """Purge every in-network flit of ``packet``; returns flits dropped.
+
+        Wormhole flits are useless without their head: once any flit of a
+        packet is lost, the remainder is flushed from every buffer and
+        wire it occupies, credits are refunded, and downstream VC claims
+        are released — the network-wide half of the NACK/retry protocol.
+        """
+        pid = packet.pid
+        dropped = 0
+        # Abort an in-progress injection of this packet at the source NI.
+        ni = self.interfaces[packet.src]
+        if ni._current is not None and ni._current[0].packet.pid == pid:
+            ni._current = None
+            ni._current_vc = None
+        # Buffered flits (mid-packet channels may live on momentarily
+        # retired tiles, so scan every router with busy channels).
+        for tile, router in enumerate(self.routers):
+            if router._busy:
+                dropped += router.purge_packet(pid, self._credit_fns[tile])
+        # Flits on the wire.
+        for key in list(self._busy_links):
+            link, _, _ = self._busy_links[key]
+            removed = [e for e in link.in_flight if e[2].packet.pid == pid]
+            if not removed:
+                continue
+            link.in_flight = deque(
+                e for e in link.in_flight if e[2].packet.pid != pid
+            )
+            for _, vc, _flit in removed:
+                self.routers[key[0]].credit_return(key[1], vc)
+            self._tile_outflight[key[0]] -= len(removed)
+            dropped += len(removed)
+            if not link.in_flight:
+                link.busy = False
+                del self._busy_links[key]
+        self.flits_dropped += dropped
+        self._faults.stats.flits_dropped += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     # Router callbacks
@@ -355,6 +588,7 @@ class Network:
         }
         router = self.routers[tile]
         interface = self.interfaces[tile]
+        faults = self._faults
 
         def send(out_port: Port, out_vc: int, flit: Flit) -> None:
             self._moved += 1
@@ -363,9 +597,22 @@ class Network:
                 self.flits_ejected += 1
                 if packet is not None:
                     self.delivered.append(packet)
+                    if self._invariants is not None:
+                        self._invariants.on_delivered(packet)
                 # The ejection NI drains at link rate: return the credit now.
                 router.credit_return(Port.LOCAL, out_vc)
             else:
+                if faults is not None and (
+                    (tile, out_port) in self._down_links or faults.maybe_drop()
+                ):
+                    # The flit dies at the link.  The downstream buffer slot
+                    # it claimed will never be used: refund the credit here;
+                    # the rest of the packet is purged after the router loop.
+                    self.flits_dropped += 1
+                    faults.stats.flits_dropped += 1
+                    router.credit_return(out_port, out_vc)
+                    self._pending_drops.append(flit.packet)
+                    return
                 link = out_links[out_port]
                 link.in_flight.append((self.now + link.latency, out_vc, flit))
                 link.flits_carried += 1
@@ -402,9 +649,12 @@ class Network:
         return buffered + on_links
 
     def assert_conserved(self) -> None:
-        """Invariant: every injected flit is buffered, on a wire, or ejected."""
-        if self.flits_injected != self.flits_ejected + self.in_flight_flits:
+        """Invariant: every injected flit is buffered, on a wire, ejected,
+        or was deliberately dropped by fault injection."""
+        accounted = self.flits_ejected + self.in_flight_flits + self.flits_dropped
+        if self.flits_injected != accounted:
             raise AssertionError(
                 f"flit conservation violated: injected={self.flits_injected} "
-                f"ejected={self.flits_ejected} in_flight={self.in_flight_flits}"
+                f"ejected={self.flits_ejected} in_flight={self.in_flight_flits} "
+                f"dropped={self.flits_dropped}"
             )

@@ -65,6 +65,7 @@ class Packet:
     pid: int = field(default_factory=lambda: next(_packet_ids))
     injected_at: int | None = None  #: cycle the head flit entered the network
     ejected_at: int | None = None  #: cycle the tail flit left the network
+    retries: int = 0  #: times the packet was NACKed and re-injected (faults)
 
     def __post_init__(self) -> None:
         if self.length is None:

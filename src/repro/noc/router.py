@@ -101,6 +101,10 @@ class VirtualChannel:
     #: flat position in the router's channel array — the (port, vc) scan
     #: order and the arbitration tie-break key.
     key: int = 0
+    #: pid of the packet currently streaming through this channel (set at
+    #: route compute, cleared at tail).  Lets fault teardown find a
+    #: mid-packet channel even when its buffer has momentarily drained.
+    current_pid: int | None = None
 
     def __lt__(self, other: "VirtualChannel") -> bool:
         return self.key < other.key
@@ -113,6 +117,7 @@ class VirtualChannel:
         self.state = _VC_ROUTING if self.buffer else _VC_IDLE
         self.out_port = None
         self.out_vc = None
+        self.current_pid = None
 
 
 class Router:
@@ -241,6 +246,7 @@ class Router:
                         "but the VC has no route (wormhole ordering violated)"
                     )
                 channel.out_port = self._route_fn(self.tile, head.packet.dst)
+                channel.current_pid = head.packet.pid
                 state = channel.state = _VC_AWAITING
             if state == _VC_AWAITING:
                 port_owners = owners[channel.out_port]
@@ -306,6 +312,70 @@ class Router:
                 winner.reset_route()
                 if winner.state == _VC_IDLE:
                     self._busy.remove(winner)
+
+    # ------------------------------------------------------------------
+    # Fault-injection support (cold path — only reached on drop/outage)
+    # ------------------------------------------------------------------
+
+    def reroute_awaiting(self, dead_port: Port) -> int:
+        """Send channels still awaiting a VC on ``dead_port`` back to routing.
+
+        Called when the link leaving this router through ``dead_port``
+        goes down: a channel that has computed its route but not yet
+        claimed a downstream VC can simply re-route (the fault-aware route
+        function will steer it around the outage next cycle).  Channels
+        already streaming (``active``) cannot be redirected mid-packet and
+        are handled by packet teardown instead.  Returns the number of
+        channels re-routed.
+        """
+        rerouted = 0
+        for channel in self._busy:
+            if channel.state == _VC_AWAITING and channel.out_port == dead_port:
+                channel.reset_route()
+                rerouted += 1
+        return rerouted
+
+    def purge_packet(self, pid: int, credit_fn) -> int:
+        """Remove every flit of packet ``pid`` from this router's buffers.
+
+        Wormhole teardown for fault injection: freed buffer slots return
+        their credits upstream via ``credit_fn`` (except on the LOCAL
+        injection port, which is not credit-flow-controlled), a channel
+        mid-stream on ``pid`` releases its downstream VC ownership, and
+        emptied channels leave the busy set.  Returns the number of flits
+        purged; the caller accounts them as dropped.
+        """
+        purged = 0
+        for channel in list(self._busy):
+            buffer = channel.buffer
+            n_before = len(buffer)
+            if n_before:
+                kept = deque(f for f in buffer if f.packet.pid != pid)
+                removed = n_before - len(kept)
+                if removed:
+                    channel.buffer = kept
+                    self._occupancy -= removed
+                    purged += removed
+                    if channel.port != Port.LOCAL:
+                        for _ in range(removed):
+                            credit_fn(channel.port, channel.index)
+            if channel.current_pid == pid:
+                if (
+                    channel.state == _VC_ACTIVE
+                    and channel.out_port is not None
+                    and channel.out_vc is not None
+                ):
+                    owners = self.out_vc_owner[channel.out_port]
+                    if owners[channel.out_vc] == (channel.port, channel.index):
+                        owners[channel.out_vc] = None
+                channel.reset_route()
+            elif not channel.buffer and channel.state == _VC_ROUTING:
+                # The purged flits were the channel's whole queue before a
+                # route was even computed; return it to idle.
+                channel.state = _VC_IDLE
+            if channel.state == _VC_IDLE and not channel.buffer:
+                self._busy.remove(channel)
+        return purged
 
     # ------------------------------------------------------------------
     # Credit plumbing

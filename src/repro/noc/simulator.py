@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.latency import Mesh
 from repro.noc.network import Network, NetworkConfig
 from repro.noc.power import ActivityCounts, PowerBreakdown, PowerModel, PowerParams
-from repro.noc.stats import LatencyStats
+from repro.noc.stats import FaultStats, LatencyStats
 from repro.noc.traffic import TrafficGenerator
 from repro.utils import profiling
 
@@ -31,6 +31,12 @@ class SimulationResult:
     cycles: int
     packets_offered: int
     packets_delivered: int
+    #: fault/recovery counters (None unless a fault schedule was attached)
+    fault_stats: FaultStats | None = None
+    #: measurement-window packets abandoned after exhausting retries
+    packets_lost: int = 0
+    #: completed invariant sweeps (0 unless invariant checking was enabled)
+    invariant_checks: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -55,10 +61,13 @@ class NoCSimulator:
         network_config: NetworkConfig | None = None,
         power_params: PowerParams | None = None,
         include_local: bool = True,
+        *,
+        faults=None,
+        invariants=None,
     ) -> None:
         self.mesh = mesh
         self.traffic = traffic
-        self.network = Network(mesh, network_config)
+        self.network = Network(mesh, network_config, faults=faults, invariants=invariants)
         self.power_model = PowerModel(mesh, power_params)
         self.include_local = include_local
 
@@ -113,6 +122,8 @@ class NoCSimulator:
             cycles=measure_cycles,
         )
         power = self.power_model.power(counts)
+        lost = sum(1 for p in net.lost_packets if p.created_at >= warmup_end)
+        checker = net.invariants
         return SimulationResult(
             stats=stats,
             power=power,
@@ -120,4 +131,7 @@ class NoCSimulator:
             cycles=measure_cycles,
             packets_offered=offered,
             packets_delivered=delivered,
+            fault_stats=net.fault_stats,
+            packets_lost=lost,
+            invariant_checks=checker.checks_run if checker is not None else 0,
         )

@@ -3,18 +3,51 @@
 Groups delivered packets by application and traffic class and reproduces
 the paper's metrics from *measured* (rather than modelled) latencies:
 per-application APL, max-APL, dev-APL and g-APL.
+
+Also home to :class:`FaultStats`, the counter block every fault-injection
+run (:mod:`repro.noc.faults`) reports through the simulator result,
+telemetry snapshots and the CLI.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.noc.packet import Packet, TrafficClass
 
-__all__ = ["LatencySummary", "LatencyStats"]
+__all__ = ["FaultStats", "LatencySummary", "LatencyStats"]
+
+
+@dataclass
+class FaultStats:
+    """Cumulative fault-injection and recovery counters for one run."""
+
+    flits_dropped: int = 0  #: flits lost on links or purged from buffers
+    packets_dropped: int = 0  #: packets torn down (drop events, not retries)
+    packets_retried: int = 0  #: NACKed packets that re-entered the NI queue
+    packets_lost: int = 0  #: packets abandoned after ``max_retries``
+    nacks_delivered: int = 0  #: loss notifications that reached a source NI
+    link_down_events: int = 0  #: link outage windows that began
+    link_up_events: int = 0  #: link outage windows that ended
+    reroutes: int = 0  #: head-flit route computations forced off a dead link
+    stall_windows: int = 0  #: router stall windows that began
+    deadlock_recoveries: int = 0  #: no-progress timeouts that killed a packet
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def any_faults(self) -> bool:
+        return any(self.as_dict().values())
+
+    def report(self) -> str:
+        lines = ["fault injection:"]
+        for name, value in self.as_dict().items():
+            lines.append(f"  {name.replace('_', ' ')}: {value}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ class TelemetrySnapshot:
     buffer_writes: np.ndarray  #: buffer writes per router
     link_flits: dict  #: (tile, Port) -> flits sent over that link
     cycles: int
+    flits_dropped: int = 0  #: flits lost to fault injection in the window
 
     def router_grid(self, mesh) -> np.ndarray:
         """Per-router flit counts as a mesh grid (a traffic heat map)."""
@@ -74,6 +75,7 @@ class NetworkTelemetry:
             buffer_writes=writes,
             link_flits=link_flits,
             cycles=net.now,
+            flits_dropped=getattr(net, "flits_dropped", 0),
         )
 
     def reset(self) -> None:
@@ -92,4 +94,5 @@ class NetworkTelemetry:
                 for k in now.link_flits
             },
             cycles=now.cycles - base.cycles,
+            flits_dropped=now.flits_dropped - base.flits_dropped,
         )

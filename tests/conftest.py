@@ -8,6 +8,18 @@ import pytest
 from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
 from repro.core.problem import OBMInstance
 from repro.core.workload import Application, Workload
+from repro.utils.rng import stable_seed
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """A generator seeded stably from the test's node id.
+
+    Every test gets its own reproducible stream: the seed depends only on
+    the test's identity, never on execution order or on which other tests
+    ran, so "random" tests fail (and replay) deterministically.
+    """
+    return np.random.default_rng(stable_seed("tests", request.node.nodeid))
 
 
 @pytest.fixture

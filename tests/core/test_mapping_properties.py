@@ -1,0 +1,120 @@
+"""Property-based tests of the mapping algorithms on random workloads.
+
+Three families of invariants, checked on hypothesis-driven random OBM
+instances (random app partition sizes, rates and memory intensities):
+
+* structure — every algorithm returns a valid thread-to-tile permutation;
+* certified bounds — no mapping's per-app APL beats that app's isolated
+  SAM optimum, and no max-APL beats the instance lower bound
+  (:func:`repro.core.bounds.max_apl_lower_bound` is *certified*, so a
+  violation is a bug by definition, never a tolerance issue);
+* paper ordering — SSS targets max-APL while Global targets g-APL, so
+  SSS should (and empirically does) win max-APL on most instances.  SSS
+  is a heuristic, not an exact method: random instances exist where it
+  trails Global by ~1%, so the per-instance check carries a 5% headroom
+  and strict dominance is asserted in aggregate over a fixed batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import global_mapping, monte_carlo
+from repro.core.bounds import max_apl_lower_bound
+from repro.core.latency import Mesh, MeshLatencyModel
+from repro.core.problem import OBMInstance
+from repro.core.sss import sort_select_swap
+from repro.core.workload import Application, Workload
+
+SETTINGS = settings(derandomize=True, deadline=None, max_examples=15)
+
+ALGORITHMS = {
+    "sss": sort_select_swap,
+    "global": global_mapping,
+    "mc": lambda inst: monte_carlo(inst, n_samples=300, seed=0),
+}
+
+
+def random_instance(seed: int, side: int = 4) -> OBMInstance:
+    """A random OBM instance: random app partition, rates, intensities."""
+    rng = np.random.default_rng(seed)
+    n = side * side
+    k = int(rng.integers(2, 5))
+    cuts = sorted(rng.choice(np.arange(1, n), size=k - 1, replace=False))
+    sizes = np.diff([0, *cuts, n])
+    apps = tuple(
+        Application(
+            f"app{i}",
+            rng.uniform(0.1, 5.0, int(s)),
+            rng.uniform(0.0, 0.5, int(s)),
+        )
+        for i, s in enumerate(sizes)
+    )
+    return OBMInstance(
+        MeshLatencyModel(Mesh.square(side)), Workload(apps, name=f"rand{seed}")
+    )
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_returns_a_valid_permutation(algorithm, seed):
+    instance = random_instance(seed)
+    result = ALGORITHMS[algorithm](instance)
+    perm = result.mapping.perm
+    assert sorted(perm.tolist()) == list(range(instance.n))
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_no_app_beats_its_isolated_optimum(algorithm, seed):
+    """Per-app APL >= that app's SAM optimum (a certified floor)."""
+    instance = random_instance(seed)
+    result = ALGORITHMS[algorithm](instance)
+    apls = instance.app_apls(result.mapping)
+    lb = max_apl_lower_bound(instance)
+    assert np.all(apls >= lb.per_app_optima - 1e-9)
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_max_apl_respects_the_instance_bound(seed):
+    instance = random_instance(seed)
+    lb = max_apl_lower_bound(instance)
+    for algorithm in ALGORITHMS.values():
+        result = algorithm(instance)
+        assert result.max_apl >= lb.value - 1e-9
+        assert lb.gap(result.max_apl) >= -1e-12
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_sss_tracks_global_per_instance(seed):
+    """SSS max-APL never trails Global by more than heuristic noise."""
+    instance = random_instance(seed)
+    sss = sort_select_swap(instance)
+    glb = global_mapping(instance)
+    assert sss.max_apl <= glb.max_apl * 1.05 + 1e-9
+
+
+def test_sss_beats_global_in_aggregate():
+    """Over a fixed batch, SSS wins max-APL strictly more than it loses
+    and wins on average — the paper's Figure 9 ordering."""
+    wins, losses = 0, 0
+    sss_total, glb_total = 0.0, 0.0
+    for seed in range(25):
+        instance = random_instance(seed)
+        sss = sort_select_swap(instance)
+        glb = global_mapping(instance)
+        sss_total += sss.max_apl
+        glb_total += glb.max_apl
+        if sss.max_apl < glb.max_apl - 1e-9:
+            wins += 1
+        elif sss.max_apl > glb.max_apl + 1e-9:
+            losses += 1
+    assert wins > losses
+    assert sss_total < glb_total

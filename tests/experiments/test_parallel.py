@@ -9,6 +9,9 @@ figure harnesses, the artifact writer, and ``multi_start_sss``.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -19,6 +22,7 @@ from repro.core.workload import Application, Workload
 from repro.experiments.artifacts import write_artifacts
 from repro.experiments.figures import fig9
 from repro.experiments.parallel import (
+    CellFailure,
     cell_seeds,
     parallel_map,
     resolve_workers,
@@ -28,6 +32,24 @@ from repro.experiments.parallel import (
 
 def _square(x: int) -> int:  # module-level: picklable for worker processes
     return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("cell three always fails")
+    return x + 1
+
+
+def _wedge_on_two(x: int) -> int:
+    if x == 2:
+        time.sleep(60)  # far beyond any test timeout; the pool is replaced
+    return x * 10
+
+
+def _crash_on_one(x: int) -> int:
+    if x == 1:
+        os._exit(13)  # hard worker death -> BrokenProcessPool upstream
+    return x
 
 
 def _small_instance() -> OBMInstance:
@@ -57,6 +79,83 @@ class TestParallelMap:
     def test_empty_and_single_cell(self):
         assert parallel_map(_square, [], workers=4) == []
         assert parallel_map(_square, [6], workers=4) == [36]
+
+
+class TestFailureHandling:
+    def test_exhausted_retries_raise_cell_failure(self):
+        with pytest.raises(CellFailure) as excinfo:
+            parallel_map(_fail_on_three, [1, 2, 3], workers=2, retries=1)
+        assert excinfo.value.index == 2
+        assert excinfo.value.cell == 3
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, ValueError)
+
+    def test_on_failure_none_keeps_remaining_cells(self):
+        out = parallel_map(
+            _fail_on_three, [1, 2, 3, 4], workers=2, on_failure="none"
+        )
+        assert out == [2, 3, None, 5]
+
+    def test_serial_path_retries_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return x
+
+        assert parallel_map(flaky, [7], workers=1, retries=5) == [7]
+        assert calls["n"] == 3
+
+    def test_serial_failure_semantics_match_parallel(self):
+        for workers in (1, 2):
+            with pytest.raises(CellFailure):
+                parallel_map(_fail_on_three, [3, 3], workers=workers)
+            assert parallel_map(
+                _fail_on_three, [1, 3], workers=workers, on_failure="none"
+            ) == [2, None]
+
+    def test_timeout_recovers_other_cells(self):
+        out = parallel_map(
+            _wedge_on_two, [0, 1, 2, 3], workers=2, timeout=2, on_failure="none"
+        )
+        assert out == [0, 10, None, 30]
+
+    def test_broken_pool_is_replaced(self):
+        out = parallel_map(
+            _crash_on_one,
+            [0, 1, 2, 3],
+            workers=2,
+            timeout=30,
+            retries=1,
+            on_failure="none",
+        )
+        assert out[0] == 0 and out[2] == 2 and out[3] == 3
+        assert out[1] is None  # crashes deterministically on every attempt
+
+    def test_env_fallbacks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "2")
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return x
+
+        assert parallel_map(flaky, [1], workers=1) == [1]
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "-1")
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], workers=2)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], timeout=0)
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], retries=-1)
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], on_failure="explode")
 
 
 class TestWorkerKnobs:

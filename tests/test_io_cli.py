@@ -107,3 +107,35 @@ class TestCLI:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["map", "--algorithm", "quantum"])
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            ["simulate", "--workload", "C1", "--mesh", "4", "--algorithm",
+             "global", "--warmup", "100", "--measure", "400", "--invariants"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packets delivered" in out
+        assert "delivery:" in out
+        assert "invariant sweeps" in out
+        assert "fault injection" not in out  # no schedule attached
+
+    def test_simulate_command_with_faults(self, capsys):
+        code = main(
+            ["simulate", "--workload", "C1", "--mesh", "4", "--measure", "400",
+             "--warmup", "50", "--link-down", "5:EAST:100:400",
+             "--stall", "2:50:120", "--drop-rate", "0.001"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault injection" in out
+        assert "link down events: 1" in out
+        assert "stall windows: 1" in out
+
+    def test_simulate_rejects_malformed_fault_specs(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--link-down", "5:EAST:100"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--link-down", "5:NOWHERE:0:10"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--stall", "banana"])
