@@ -1,0 +1,65 @@
+"""Observability overhead benchmark.
+
+Runs the C1 raw-simulator workload (SSS mapping, 4000 measured cycles)
+three ways — observability off, full tracing on, metrics-only — and
+reports the overhead of each against the uninstrumented fast path.  The
+disabled path must stay within a few percent of the pre-observability
+engine: it executes the identical loops, so any regression here means an
+accidental hot-path instrumentation leak.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.sss import sort_select_swap
+from repro.experiments.base import standard_instance
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import MappedWorkloadTraffic
+from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
+
+
+def _run_c1(obs=None):
+    instance = standard_instance("C1")
+    mapping = sort_select_swap(instance).mapping
+    traffic = MappedWorkloadTraffic(instance, mapping, generate_replies=True, seed=13)
+    sim = NoCSimulator(instance.mesh, traffic, obs=obs)
+    return sim.run(warmup=500, measure=4_000)
+
+
+def _traced_obs():
+    return Observability(
+        ObservabilityConfig(trace=TraceConfig(), sample=SamplerConfig(every=200))
+    )
+
+
+def test_obs_off_c1(benchmark):
+    result = run_once(benchmark, _run_c1)
+    assert result.packets_delivered > 0
+
+
+def test_obs_tracing_c1(benchmark):
+    obs = _traced_obs()
+    result = run_once(benchmark, _run_c1, obs)
+    assert obs.tracer.packets_traced > 0
+    assert obs.sampler.n_samples > 0
+    assert len(obs.registry) > 0
+    assert result.packets_delivered > 0
+
+
+def test_obs_overhead_ratio():
+    """Tracing-on vs tracing-off wall-clock, printed for BENCH_perf.json."""
+    # Warm both paths once (imports, mapping solve) before timing.
+    _run_c1()
+    t0 = time.perf_counter()
+    off = _run_c1()
+    t_off = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = _run_c1(_traced_obs())
+    t_on = time.perf_counter() - t0
+    assert on.packets_delivered == off.packets_delivered
+    assert on.stats.g_apl() == off.stats.g_apl()
+    print(
+        f"\nobs overhead on C1/4000 cycles: off {t_off:.3f}s, "
+        f"tracing+sampling {t_on:.3f}s ({t_on / t_off:.2f}x)"
+    )

@@ -13,7 +13,13 @@ Commands
 ``simulate``
     Map a workload, then run the cycle-level NoC simulator on the result —
     optionally with fault injection (link outages, router stalls, flit
-    drops) and runtime invariant checking.
+    drops), runtime invariant checking, and observability outputs
+    (``--trace-out``, ``--chrome-trace``, ``--metrics-out``,
+    ``--timeseries-out``).
+``trace``
+    Inspect a trace JSONL written by ``simulate --trace-out``: slowest
+    packets with per-hop breakdowns, per-app latency percentiles, schema
+    validation, Chrome/Perfetto conversion.
 ``experiments``
     Alias of ``python -m repro.experiments``.
 """
@@ -111,6 +117,68 @@ def _parse_stall(spec: str):
         ) from exc
 
 
+def _parse_apps(spec: str) -> frozenset[int]:
+    try:
+        return frozenset(int(a) for a in spec.split(",") if a.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated app ids (e.g. 0,2), got {spec!r}"
+        ) from exc
+
+
+def _build_observability(args):
+    """Assemble an :class:`~repro.obs.Observability` from simulate flags.
+
+    Returns ``None`` when no observability output was requested so the
+    simulator keeps its uninstrumented fast path.
+    """
+    from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
+
+    want_trace = bool(args.trace_out or args.chrome_trace)
+    want_sample = bool(args.timeseries_out)
+    want_metrics = bool(args.metrics_out)
+    if not (want_trace or want_sample or want_metrics):
+        return None
+    config = ObservabilityConfig(
+        trace=TraceConfig(
+            every=args.trace_every,
+            apps=args.trace_apps,
+            buffer=args.trace_buffer,
+        )
+        if want_trace
+        else None,
+        sample=SamplerConfig(every=args.sample_every) if want_sample else None,
+    )
+    return Observability(config)
+
+
+def _write_obs_outputs(args, obs) -> None:
+    from repro.obs.exporters import (
+        write_chrome_trace,
+        write_prometheus,
+        write_timeseries_csv,
+        write_trace_jsonl,
+    )
+
+    if args.trace_out:
+        write_trace_jsonl(obs.tracer, args.trace_out)
+        print(
+            f"trace: {obs.tracer.events_retained} events -> {args.trace_out}"
+            + (f" ({obs.tracer.events_dropped} dropped)" if obs.tracer.events_dropped else "")
+        )
+    if args.chrome_trace:
+        header = obs.tracer.header()
+        events = list(obs.tracer.events())
+        write_chrome_trace(header, events, args.chrome_trace)
+        print(f"chrome trace -> {args.chrome_trace}")
+    if args.metrics_out:
+        write_prometheus(obs.registry, args.metrics_out)
+        print(f"metrics ({len(obs.registry)} series) -> {args.metrics_out}")
+    if args.timeseries_out:
+        write_timeseries_csv(obs.sampler, args.timeseries_out)
+        print(f"time series ({obs.sampler.n_samples} samples) -> {args.timeseries_out}")
+
+
 def _cmd_simulate(args) -> int:
     from repro.noc import (
         FaultConfig,
@@ -134,11 +202,13 @@ def _cmd_simulate(args) -> int:
         ),
     )
     traffic = MappedWorkloadTraffic(instance, result.mapping, seed=args.seed)
+    obs = _build_observability(args)
     sim = NoCSimulator(
         instance.mesh,
         traffic,
         faults=None if schedule.is_trivial else schedule,
         invariants=args.invariants or None,
+        obs=obs,
     )
     with profiling.phase("simulate.noc"):
         measured = sim.run(warmup=args.warmup, measure=args.measure)
@@ -154,6 +224,63 @@ def _cmd_simulate(args) -> int:
         print(measured.fault_stats.report())
     if args.invariants:
         print(f"invariant sweeps completed: {measured.invariant_checks}")
+    if obs is not None:
+        print()
+        _write_obs_outputs(args, obs)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.traceio import (
+        format_packet,
+        per_app_percentiles,
+        read_trace,
+        slowest,
+        summarize,
+        validate_trace,
+    )
+
+    trace = read_trace(args.trace)
+    if args.validate:
+        errors = validate_trace(trace)
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: valid ({len(trace.events)} events)")
+
+    packets = summarize(trace)
+    if args.app is not None:
+        packets = [p for p in packets if p.app == args.app]
+    header = trace.header
+    print(
+        f"{len(packets)} traced packets "
+        f"({header['n_tiles']} tiles, every {header['trace_every']} submissions)"
+    )
+
+    stats = per_app_percentiles(packets)
+    if stats:
+        print()
+        rows = [
+            [
+                f"app {app}" if app >= 0 else "background",
+                s["count"], s["mean"], s["p50"], s["p95"], s["p99"], s["max"],
+            ]
+            for app, s in sorted(stats.items())
+        ]
+        print(format_table(
+            ["app", "pkts", "mean", "p50", "p95", "p99", "max"],
+            rows, float_fmt="{:.1f}",
+        ))
+
+    for packet in slowest(packets, args.slowest):
+        print()
+        print(format_packet(packet))
+
+    if args.chrome:
+        write_chrome_trace(trace.header, trace.events, args.chrome)
+        print(f"\nchrome trace -> {args.chrome}")
     return 0
 
 
@@ -230,7 +357,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--fault-seed", type=int, default=0, help="seed of the drop generator"
     )
+    g_obs = p_sim.add_argument_group(
+        "observability (off unless an output path is given)"
+    )
+    g_obs.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write packet-lifecycle trace JSONL here",
+    )
+    g_obs.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="write a Chrome/Perfetto trace-event JSON here",
+    )
+    g_obs.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write Prometheus text-format metrics here",
+    )
+    g_obs.add_argument(
+        "--timeseries-out", metavar="PATH",
+        help="write a per-window time-series CSV here",
+    )
+    g_obs.add_argument(
+        "--trace-every", type=int, default=1, metavar="N",
+        help="trace every Nth submitted packet (default 1 = all)",
+    )
+    g_obs.add_argument(
+        "--trace-apps", type=_parse_apps, metavar="A,B",
+        help="only trace these application ids (comma-separated)",
+    )
+    g_obs.add_argument(
+        "--trace-buffer", type=int, default=262_144, metavar="N",
+        help="trace ring-buffer capacity in events (default 262144)",
+    )
+    g_obs.add_argument(
+        "--sample-every", type=int, default=200, metavar="K",
+        help="time-series sampling period in cycles (default 200)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a trace JSONL written by simulate --trace-out"
+    )
+    p_trace.add_argument("trace", help="trace JSONL path")
+    p_trace.add_argument(
+        "--slowest", type=int, default=5, metavar="N",
+        help="print per-hop breakdowns of the N slowest packets (default 5)",
+    )
+    p_trace.add_argument(
+        "--app", type=int, help="restrict to one application id"
+    )
+    p_trace.add_argument(
+        "--validate", action="store_true",
+        help="check the file against the trace schema first",
+    )
+    p_trace.add_argument(
+        "--chrome", metavar="PATH",
+        help="also convert to Chrome/Perfetto trace-event JSON",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_bound = sub.add_parser("bound", help="lower bound + per-algorithm gaps")
     add_common(p_bound)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -39,6 +40,11 @@ def main(argv: list[str] | None = None) -> int:
         help="print named phase timings (e.g. sss.swap, noc.measure) per experiment",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-cell completion on stderr (fan-out-capable experiments)",
+    )
+    parser.add_argument(
         "--output-dir",
         help="also write <id>.txt / <id>.json artifacts into this directory",
     )
@@ -66,6 +72,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {"fast": args.fast}
         if workers != 1 and supports_workers(fn):
             kwargs["workers"] = workers
+        if args.progress and "progress" in inspect.signature(fn).parameters:
+            kwargs["progress"] = True
         if args.profile:
             profiling.reset_profiling()
         report = fn(**kwargs)

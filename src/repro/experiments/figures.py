@@ -186,17 +186,34 @@ def fig8(*, fast: bool = False) -> ExperimentReport:
     )
 
 
-def fig9(*, fast: bool = False, workers: int = 1) -> ExperimentReport:
+def _config_progress(total: int):
+    """stderr progress callback for the C1..C8 sweeps (``progress=True``)."""
+    import sys
+
+    def report(index: int, _result) -> None:
+        print(
+            f"  [{index + 1}/{total}] {CONFIG_NAMES[index]} done",
+            file=sys.stderr, flush=True,
+        )
+
+    return report
+
+
+def fig9(
+    *, fast: bool = False, workers: int = 1, progress: bool = False
+) -> ExperimentReport:
     """Figure 9: max-APL of the four algorithms across C1-C8.
 
     Expected shape: Global worst (highest max-APL); MC and SA better; SSS
     best or tied-best, ~10% below Global on average.  ``workers > 1``
-    fans the eight configurations across processes with identical output.
+    fans the eight configurations across processes with identical output;
+    ``progress=True`` reports per-configuration completion on stderr.
     """
     sweeps = parallel_map(
         _algorithm_sweep_cell,
         [(name, fast) for name in CONFIG_NAMES],
         workers=workers,
+        on_result=_config_progress(len(CONFIG_NAMES)) if progress else None,
     )
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}
@@ -224,18 +241,22 @@ def fig9(*, fast: bool = False, workers: int = 1) -> ExperimentReport:
     return ExperimentReport("fig9", "max-APL comparison", text, data)
 
 
-def fig10(*, fast: bool = False, workers: int = 1) -> ExperimentReport:
+def fig10(
+    *, fast: bool = False, workers: int = 1, progress: bool = False
+) -> ExperimentReport:
     """Figure 10: g-APL of the four algorithms, normalised to Global.
 
     Expected shape: Global is 1.0 by construction (it is the exact g-APL
     optimum); the three balancing algorithms pay only a few percent, SSS
     the least.  ``workers > 1`` fans the configurations across processes
-    with identical output.
+    with identical output; ``progress=True`` reports per-configuration
+    completion on stderr.
     """
     sweeps = parallel_map(
         _algorithm_sweep_cell,
         [(name, fast) for name in CONFIG_NAMES],
         workers=workers,
+        on_result=_config_progress(len(CONFIG_NAMES)) if progress else None,
     )
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}

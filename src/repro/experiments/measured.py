@@ -87,6 +87,7 @@ def measured_apl_comparison(
             "analytic_dev": results[alg].dev_apl,
             "measured_dev": stats.dev_apl(),
             "measured_by_app": measured,
+            "measured_percentiles": stats.percentiles_by_app(),
         }
     text = format_table(
         ["algorithm", "application", "analytic APL", "measured APL"],

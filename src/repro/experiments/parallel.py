@@ -38,6 +38,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.utils import profiling
 from repro.utils.rng import stable_seed
 
 __all__ = [
@@ -47,6 +48,31 @@ __all__ = [
     "resolve_workers",
     "supports_workers",
 ]
+
+
+class _ProfiledCell:
+    """Picklable wrapper returning ``(fn(cell), worker phase summary)``.
+
+    Worker processes each have their own module-global ``PROFILER``, so
+    phase timings recorded inside a cell (``noc.measure`` etc.) would
+    vanish with the worker.  When the parent has profiling enabled,
+    ``parallel_map`` wraps the cell function in this class; the worker
+    resets its profiler per cell (pool workers are reused) and ships the
+    summary back alongside the result for the parent to merge.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, cell):
+        profiling.PROFILER.reset()
+        profiling.enable_profiling(True)
+        try:
+            return self.fn(cell), profiling.PROFILER.summary()
+        finally:
+            profiling.enable_profiling(False)
 
 
 class CellFailure(RuntimeError):
@@ -103,6 +129,7 @@ def parallel_map(
     timeout: float | None = None,
     retries: int | None = None,
     on_failure: str = "raise",
+    on_result: Callable[[int, object], None] | None = None,
 ) -> list:
     """``[fn(cell) for cell in cells]``, optionally across processes.
 
@@ -130,6 +157,17 @@ def parallel_map(
     A worker crash (:class:`BrokenProcessPool`) also replaces the
     executor and resubmits unfinished cells, charging an attempt only to
     the cell whose collection observed the crash.
+
+    ``on_result(index, result)`` is invoked once per cell, in input
+    order, as results become available — the hook the figure harnesses
+    use for progress reporting.  Failed cells under ``on_failure="none"``
+    report ``None``.
+
+    When the global profiler is enabled, cells fanned to worker
+    processes are wrapped so each worker's phase timings travel back
+    with its result and are merged into the parent profiler (in input
+    order) — ``--profile`` shows the same phases whether ``workers`` is
+    1 or 16, with ``seconds`` then meaning summed worker wall-clock.
     """
     cells = list(cells)
     workers = resolve_workers(workers)
@@ -151,10 +189,34 @@ def parallel_map(
                         results.append(None)
                         break
                     raise CellFailure(index, cell, attempt, exc) from exc
+            if on_result is not None:
+                on_result(index, results[-1])
         return results
-    return _parallel_run(
-        fn, cells, min(workers, len(cells)), timeout, retries, on_failure
+    if not profiling.profiling_enabled():
+        return _parallel_run(
+            fn, cells, min(workers, len(cells)), timeout, retries, on_failure, on_result
+        )
+    inner_on_result = None
+    if on_result is not None:
+        inner_on_result = lambda i, pair: on_result(i, pair[0] if pair else None)
+    pairs = _parallel_run(
+        _ProfiledCell(fn),
+        cells,
+        min(workers, len(cells)),
+        timeout,
+        retries,
+        on_failure,
+        inner_on_result,
     )
+    results = []
+    for pair in pairs:
+        if pair is None:  # failed cell under on_failure="none"
+            results.append(None)
+            continue
+        value, summary = pair
+        profiling.PROFILER.merge(summary)
+        results.append(value)
+    return results
 
 
 def _parallel_run(
@@ -164,10 +226,22 @@ def _parallel_run(
     timeout: float | None,
     retries: int,
     on_failure: str,
+    on_result: Callable[[int, object], None] | None = None,
 ) -> list:
     results: list = [None] * len(cells)
     done = [False] * len(cells)
     attempts = [0] * len(cells)
+    reported = 0
+
+    def report_ready() -> None:
+        # Fire on_result for the longest done prefix, keeping the callback
+        # in input order even when salvage completes cells out of order.
+        nonlocal reported
+        while reported < len(cells) and done[reported]:
+            if on_result is not None:
+                on_result(reported, results[reported])
+            reported += 1
+
     executor = ProcessPoolExecutor(max_workers=max_workers)
     try:
         futures = {i: executor.submit(fn, cells[i]) for i in range(len(cells))}
@@ -182,6 +256,7 @@ def _parallel_run(
                 try:
                     results[i] = futures[i].result(timeout=timeout)
                     done[i] = True
+                    report_ready()
                     continue
                 except (FutureTimeout, BrokenProcessPool) as exc:
                     failure = exc
@@ -193,6 +268,7 @@ def _parallel_run(
                     done[i] = True
                     if on_failure == "raise":
                         raise CellFailure(i, cells[i], attempts[i], failure) from failure
+                    report_ready()
                 elif not replace_pool:
                     futures[i] = executor.submit(fn, cells[i])
                 if replace_pool:
@@ -205,6 +281,7 @@ def _parallel_run(
                                 done[j] = True
                             except Exception:
                                 pass  # retried on the fresh pool
+                    report_ready()
                     executor.shutdown(wait=False, cancel_futures=True)
                     executor = ProcessPoolExecutor(max_workers=max_workers)
                     futures = {

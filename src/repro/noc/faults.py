@@ -269,7 +269,7 @@ class FaultManager:
             due = [t for t in self._nacks if t <= now]
             for t in sorted(due):
                 for packet in self._nacks.pop(t):
-                    self._deliver_nack(network, packet)
+                    self._deliver_nack(network, packet, now)
         if now - self.last_progress > self.config.recovery_cycles:
             self._recover(network, now)
 
@@ -295,11 +295,14 @@ class FaultManager:
             self.schedule_nack(victim, now)
         self.last_progress = now
 
-    def _deliver_nack(self, network, packet) -> None:
+    def _deliver_nack(self, network, packet, now: int) -> None:
         self.stats.nacks_delivered += 1
+        tracer = network._tracer
         if packet.retries >= self.config.max_retries:
             self.stats.packets_lost += 1
             self.lost_packets.append(packet)
+            if tracer is not None:
+                tracer.on_lost(packet, now)
             return
         packet.retries += 1
         self.stats.packets_retried += 1
@@ -307,6 +310,8 @@ class FaultManager:
         packet.ejected_at = None
         network.interfaces[packet.src].enqueue(packet)
         network._active.add(packet.src)
+        if tracer is not None:
+            tracer.on_retry(packet, now)
 
     # ------------------------------------------------------------------
     # Queries used by the network hot path

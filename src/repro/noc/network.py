@@ -182,11 +182,16 @@ class Network:
         *,
         faults=None,
         invariants=None,
+        tracer=None,
     ) -> None:
         from repro.noc.routing import ROUTE_FUNCTIONS
 
         self.mesh = mesh
         self.config = config or NetworkConfig()
+        #: Attached packet-lifecycle tracer (None = tracing off).  The hot
+        #: paths below are built in two variants so a tracer-less network
+        #: executes exactly the uninstrumented code.
+        self._tracer = tracer
         route_fn = ROUTE_FUNCTIONS[self.config.routing]
         # Fault state first: the route closure consults it when (and only
         # when) a fault schedule is attached.
@@ -232,6 +237,8 @@ class Network:
                             mesh, tile, dst, lambda t, p: (t, p) not in down, port
                         )
                         if alt is not None:
+                            if self._tracer is not None:
+                                self._tracer.on_reroute(tile, dst, port, alt, self.now)
                             port = alt
                             stats.reroutes += 1
                         # else: fully cut off — keep the dead port; the
@@ -273,6 +280,10 @@ class Network:
         self._send_fns = [self._make_send(t) for t in range(mesh.n_tiles)]
         self._credit_fns = [self._make_credit(t) for t in range(mesh.n_tiles)]
         self._invariants = self._make_invariants(invariants)
+        if tracer is not None:
+            tracer.attach(self)
+            for router in self.routers:
+                router.tracer = tracer
 
     def _make_fault_manager(self, faults):
         """Coerce the ``faults=`` argument into an attached FaultManager."""
@@ -330,10 +341,15 @@ class Network:
         Locally addressed packets complete instantly without touching the
         network (the analytic model's src == dst rule).
         """
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_submit(packet, self.now)
         if packet.src == packet.dst:
             packet.injected_at = self.now
             packet.ejected_at = self.now
             self.delivered.append(packet)
+            if tracer is not None:
+                tracer.on_eject(packet, self.now)
             return
         self.interfaces[packet.src].enqueue(packet)
         self._active.add(packet.src)
@@ -497,6 +513,8 @@ class Network:
         self._down_links.add(key)
         self._route_cache.clear()
         self._faults.stats.link_down_events += 1
+        if self._tracer is not None:
+            self._tracer.on_link_down(tile, port, self.now)
         # Channels that routed towards the dead link but have not started
         # streaming simply re-route; channels mid-packet (and flits caught
         # on the wire) lose their packet to teardown + NACK.
@@ -526,6 +544,8 @@ class Network:
         self._down_links.discard(key)
         self._route_cache.clear()
         self._faults.stats.link_up_events += 1
+        if self._tracer is not None:
+            self._tracer.on_link_up(tile, port, self.now)
 
     def _process_drops(self, now: int) -> None:
         """Tear down and NACK every packet that lost a flit this cycle."""
@@ -576,6 +596,8 @@ class Network:
                 del self._busy_links[key]
         self.flits_dropped += dropped
         self._faults.stats.flits_dropped += dropped
+        if self._tracer is not None:
+            self._tracer.on_teardown(packet, self.now, dropped)
         return dropped
 
     # ------------------------------------------------------------------
@@ -589,6 +611,7 @@ class Network:
         router = self.routers[tile]
         interface = self.interfaces[tile]
         faults = self._faults
+        tracer = self._tracer
 
         def send(out_port: Port, out_vc: int, flit: Flit) -> None:
             self._moved += 1
@@ -625,7 +648,22 @@ class Network:
                         out_port.opposite,
                     )
 
-        return send
+        if tracer is None:
+            return send
+
+        def traced_send(out_port: Port, out_vc: int, flit: Flit) -> None:
+            # Tracing reads but never mutates simulation state, so the
+            # traced run stays bit-identical to the untraced one.
+            if out_port == Port.LOCAL:
+                is_tail = flit.is_tail
+                send(out_port, out_vc, flit)
+                if is_tail:
+                    tracer.on_eject(flit.packet, self.now)
+            else:
+                tracer.on_flit(tile, out_port, out_vc, flit, self.now)
+                send(out_port, out_vc, flit)
+
+        return traced_send
 
     def _make_credit(self, tile: int):
         neighbors = self._neighbor[tile]

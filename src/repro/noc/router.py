@@ -129,6 +129,11 @@ class Router:
     nothing).
     """
 
+    #: Optional packet tracer (set by the network when tracing is on).
+    #: A class-level None keeps the disabled check to one attribute load
+    #: on the once-per-packet-per-hop VC-allocation path.
+    tracer = None
+
     def __init__(self, tile: int, config: RouterConfig, route_fn) -> None:
         self.tile = tile
         self.config = config
@@ -257,6 +262,11 @@ class Router:
                         port_owners[out_vc] = (channel.port, channel.index)
                         channel.out_vc = out_vc
                         state = channel.state = _VC_ACTIVE
+                        if self.tracer is not None:
+                            self.tracer.on_vc_alloc(
+                                self.tile, channel.out_port, out_vc,
+                                head.packet.pid, now,
+                            )
                         break
                 else:
                     # No downstream VC free: the channel retries next cycle.

@@ -64,40 +64,71 @@ class NoCSimulator:
         *,
         faults=None,
         invariants=None,
+        obs=None,
     ) -> None:
+        from repro.obs import Observability
+
         self.mesh = mesh
         self.traffic = traffic
-        self.network = Network(mesh, network_config, faults=faults, invariants=invariants)
+        self.obs = Observability.coerce(obs)
+        self.network = Network(
+            mesh,
+            network_config,
+            faults=faults,
+            invariants=invariants,
+            tracer=None if self.obs is None else self.obs.tracer,
+        )
         self.power_model = PowerModel(mesh, power_params)
         self.include_local = include_local
+
+    def _window(self, cycles: int, count_offered: bool) -> int:
+        """Inject + step for ``cycles`` cycles; returns packets offered.
+
+        Built in two variants so observability-off runs execute exactly
+        the pre-observability loop (no per-cycle sampler check).
+        """
+        net = self.network
+        offered = 0
+        sampler = None if self.obs is None else self.obs.sampler
+        if sampler is None:
+            for _ in range(cycles):
+                for packet in self.traffic.packets_for_cycle(net.now):
+                    net.submit(packet)
+                    offered += 1
+                net.step()
+        else:
+            for _ in range(cycles):
+                for packet in self.traffic.packets_for_cycle(net.now):
+                    net.submit(packet)
+                    offered += 1
+                net.step()
+                sampler.on_cycle(net)
+        return offered if count_offered else 0
 
     def run(self, warmup: int = 1_000, measure: int = 10_000) -> SimulationResult:
         """Run ``warmup`` cycles, then measure for ``measure`` cycles."""
         if warmup < 0 or measure <= 0:
             raise ValueError("warmup must be >= 0 and measure > 0")
         net = self.network
+        sampler = None if self.obs is None else self.obs.sampler
+        if sampler is not None:
+            sampler.attach(net)
 
         with profiling.phase("noc.warmup"):
-            for _ in range(warmup):
-                for packet in self.traffic.packets_for_cycle(net.now):
-                    net.submit(packet)
-                net.step()
+            self._window(warmup, count_offered=False)
         warmup_end = net.now
         delivered_before = len(net.delivered)
         flits_routed_before = sum(r.flits_routed for r in net.routers)
         writes_before = sum(r.buffer_writes for r in net.routers)
         ejected_before = net.flits_ejected
 
-        offered = 0
         with profiling.phase("noc.measure"):
-            for _ in range(measure):
-                for packet in self.traffic.packets_for_cycle(net.now):
-                    net.submit(packet)
-                    offered += 1
-                net.step()
+            offered = self._window(measure, count_offered=True)
         # Drain so every measured packet has a latency.
         with profiling.phase("noc.drain"):
             net.drain()
+        if sampler is not None:
+            sampler.finish(net)
         net.assert_conserved()
         measure_cycles = measure  # activity normalised to the offered window
 
@@ -124,7 +155,7 @@ class NoCSimulator:
         power = self.power_model.power(counts)
         lost = sum(1 for p in net.lost_packets if p.created_at >= warmup_end)
         checker = net.invariants
-        return SimulationResult(
+        result = SimulationResult(
             stats=stats,
             power=power,
             counts=counts,
@@ -135,3 +166,6 @@ class NoCSimulator:
             packets_lost=lost,
             invariant_checks=checker.checks_run if checker is not None else 0,
         )
+        if self.obs is not None:
+            self.obs.finalize(result, net)
+        return result

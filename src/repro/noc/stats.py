@@ -124,6 +124,37 @@ class LatencyStats:
             app: float(np.mean(lat)) for app, lat in sorted(self._by_app.items())
         }
 
+    def by_app(self, app: int) -> LatencySummary:
+        return LatencySummary.of(np.asarray(self._by_app[app]))
+
+    def histogram_by_app(self) -> dict[int, "Histogram"]:
+        """Per-application latency :class:`~repro.obs.metrics.Histogram`.
+
+        Built lazily from the raw samples on the shared
+        :data:`~repro.obs.metrics.LATENCY_BUCKETS` layout so results merge
+        cleanly into any :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        from repro.obs.metrics import Histogram
+
+        out: dict[int, Histogram] = {}
+        for app, latencies in sorted(self._by_app.items()):
+            hist = Histogram("repro_packet_latency_cycles", labels=(("app", str(app)),))
+            hist.observe_many(latencies)
+            out[app] = hist
+        return out
+
+    def percentiles_by_app(self) -> dict[int, dict[str, float]]:
+        """Exact per-application p50/p95/p99 from the raw samples."""
+        return {
+            app: {
+                "p50": float(np.percentile(lat, 50)),
+                "p95": float(np.percentile(lat, 95)),
+                "p99": float(np.percentile(lat, 99)),
+            }
+            for app, lat in sorted(self._by_app.items())
+            if lat
+        }
+
     def max_apl(self) -> float:
         apls = self.apl_by_app()
         if not apls:

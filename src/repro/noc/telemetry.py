@@ -66,16 +66,25 @@ class NetworkTelemetry:
         for (tile, port), link in net.links.items():
             # Flits *sent* over a link = switch traversals at the source
             # router towards that port; the router does not split counts by
-            # port, so reconstruct from the network-level identity instead:
-            # each non-ejection traversal used exactly one link.  Per-link
-            # counts therefore come from the link objects' own tally.
-            link_flits[(tile, port)] = getattr(link, "flits_carried", 0)
+            # port, so per-link counts come from the link objects' own
+            # ``flits_carried`` tally.  That attribute is part of the Link
+            # contract — a missing one means a broken or substitute link
+            # class, and silently counting 0 would render utilisation maps
+            # subtly wrong, so fail loudly instead.
+            try:
+                link_flits[(tile, port)] = link.flits_carried
+            except AttributeError:
+                raise TypeError(
+                    f"link {tile}:{port.name} ({type(link).__name__}) has no "
+                    "'flits_carried' counter; NetworkTelemetry requires links "
+                    "that tally carried flits"
+                ) from None
         return TelemetrySnapshot(
             router_flits=router_flits,
             buffer_writes=writes,
             link_flits=link_flits,
             cycles=net.now,
-            flits_dropped=getattr(net, "flits_dropped", 0),
+            flits_dropped=net.flits_dropped,
         )
 
     def reset(self) -> None:

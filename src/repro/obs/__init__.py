@@ -1,0 +1,162 @@
+"""Unified observability layer: tracing, metrics, sampling, exporters.
+
+Off by default and free when off — the simulator and network run the
+exact pre-observability code paths unless an :class:`Observability`
+bundle is attached.  When attached:
+
+* a :class:`~repro.obs.tracing.PacketTracer` records sampled per-packet
+  lifecycle spans (submit, per-hop VC-alloc/switch events, eject, fault
+  teardown/retry/loss) into a bounded ring buffer;
+* a :class:`~repro.obs.sampler.MetricsSampler` snapshots network
+  counters every K cycles into a columnar time-series;
+* a :class:`~repro.obs.metrics.MetricsRegistry` holds the run's final
+  counters, gauges and per-application latency histograms.
+
+Exporters (:mod:`repro.obs.exporters`) turn those into JSONL traces,
+Chrome trace-event JSON (Perfetto-loadable), Prometheus text and CSV —
+all surfaced by ``python -m repro simulate`` and summarised offline by
+``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    render_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+    write_timeseries_csv,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+)
+from repro.obs.sampler import MetricsSampler, SamplerConfig
+from repro.obs.tracing import PacketTracer, TraceConfig
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "latency_buckets",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "SamplerConfig",
+    "PacketTracer",
+    "TraceConfig",
+    "ObservabilityConfig",
+    "Observability",
+    "chrome_trace_events",
+    "render_prometheus",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_timeseries_csv",
+    "write_trace_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Which observability pieces to enable for a run."""
+
+    trace: TraceConfig | None = None  #: packet tracing (None = off)
+    sample: SamplerConfig | None = None  #: time-series sampling (None = off)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.trace is None and self.sample is None
+
+
+class Observability:
+    """One run's observability bundle: tracer + sampler + registry."""
+
+    def __init__(self, config: ObservabilityConfig | None = None) -> None:
+        self.config = config or ObservabilityConfig()
+        self.tracer = (
+            PacketTracer(self.config.trace) if self.config.trace is not None else None
+        )
+        self.sampler = (
+            MetricsSampler(self.config.sample)
+            if self.config.sample is not None
+            else None
+        )
+        self.registry = MetricsRegistry()
+
+    @classmethod
+    def coerce(cls, obs) -> "Observability | None":
+        """Normalise the simulator's ``obs=`` argument."""
+        if obs is None or obs is False:
+            return None
+        if isinstance(obs, Observability):
+            return obs
+        if isinstance(obs, ObservabilityConfig):
+            return None if obs.is_trivial else cls(obs)
+        if obs is True:
+            return cls(ObservabilityConfig(trace=TraceConfig(), sample=SamplerConfig()))
+        raise TypeError(
+            f"obs must be an Observability, ObservabilityConfig or bool, got {type(obs)!r}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def finalize(self, result, network) -> None:
+        """Fill the registry from a finished run's counters and stats.
+
+        Counters are end-of-run totals (the live per-cycle view is the
+        sampler's job), so the simulation hot path never touches the
+        registry.
+        """
+        reg = self.registry
+        reg.counter("repro_cycles_total", "measured cycles").inc(result.cycles)
+        reg.counter("repro_packets_offered_total", "packets offered in the window").inc(
+            result.packets_offered
+        )
+        reg.counter("repro_packets_delivered_total", "packets delivered").inc(
+            result.packets_delivered
+        )
+        reg.counter("repro_packets_lost_total", "packets lost to faults").inc(
+            result.packets_lost
+        )
+        reg.gauge("repro_delivery_ratio", "delivered / offered").set(
+            result.delivery_ratio
+        )
+        reg.counter("repro_flits_injected_total", "flits injected").inc(
+            network.flits_injected
+        )
+        reg.counter("repro_flits_ejected_total", "flits ejected").inc(
+            network.flits_ejected
+        )
+        reg.counter("repro_flits_dropped_total", "flits dropped by faults").inc(
+            network.flits_dropped
+        )
+        for app, hist in result.stats.histogram_by_app().items():
+            reg.histogram(
+                "repro_packet_latency_cycles",
+                "end-to-end packet latency distribution",
+                bounds=hist.bounds,
+                app=app,
+            ).merge(hist)
+        if result.fault_stats is not None:
+            for name, value in result.fault_stats.as_dict().items():
+                reg.counter(
+                    "repro_fault_events_total", "fault-injection event counters",
+                    kind=name,
+                ).inc(value)
+        if self.tracer is not None:
+            reg.counter("repro_trace_events_total", "trace events recorded").inc(
+                self.tracer.events_total
+            )
+            reg.counter(
+                "repro_trace_events_dropped_total", "trace events evicted from the ring"
+            ).inc(self.tracer.events_dropped)
+            reg.counter("repro_trace_packets_total", "packets traced").inc(
+                self.tracer.packets_traced
+            )

@@ -1,0 +1,301 @@
+"""Standard-format exporters for traces, metrics and time-series.
+
+Four output formats, all deterministic byte-for-byte for a given run
+(sorted keys, fixed field order, no timestamps or hostnames):
+
+* :func:`write_trace_jsonl` — the canonical trace file: one JSON object
+  per line (header, events, footer).  Schema documented in GUIDE §10 and
+  checked by :func:`repro.obs.traceio.validate_trace`.
+* :func:`write_chrome_trace` — Chrome trace-event JSON loadable in
+  Perfetto / ``chrome://tracing``: one track per router (packet
+  residency per hop) and one per application (whole-packet spans),
+  with fault events as instants.
+* :func:`write_prometheus` — Prometheus text exposition format for the
+  metrics registry (counters, gauges, cumulative-bucket histograms).
+* :func:`write_timeseries_csv` — the sampler's columnar buffer as CSV,
+  one row per sample window, per-link utilisation columns included.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "write_trace_jsonl",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_timeseries_csv",
+    "chrome_trace_events",
+]
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace_jsonl(tracer, path: str | Path) -> Path:
+    """Write a tracer's buffered events as JSONL (header, events, footer)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(_dumps(tracer.header()) + "\n")
+        for event in tracer.events():
+            fh.write(_dumps(event) + "\n")
+        fh.write(_dumps(tracer.footer()) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+_PID_ROUTERS = 1
+_PID_APPS = 2
+
+
+def chrome_trace_events(header: dict, events) -> list[dict]:
+    """Convert trace events (dicts) to Chrome trace-event objects.
+
+    Spans are reconstructed per packet: the app track gets one complete
+    ("X") event covering creation to ejection; each router visited gets
+    one complete event covering the packet's residency there (arrival =
+    previous hop's departure + link latency; the first residency starts
+    at submission).  Fault events render as instants ("i").
+    """
+    link_latency = int(header.get("link_latency", 1))
+    out: list[dict] = []
+    packets: dict[int, dict] = {}
+    for event in events:
+        kind = event["ev"]
+        if kind == "submit":
+            packets[event["id"]] = {"submit": event, "hops": [], "end": None}
+        elif kind == "hop":
+            if event["id"] in packets:
+                packets[event["id"]]["hops"].append(event)
+        elif kind in ("eject", "lost"):
+            if event["id"] in packets:
+                packets[event["id"]]["end"] = event
+        elif kind in ("teardown", "retry"):
+            if event["id"] in packets:
+                tile = packets[event["id"]]["submit"]["src"]
+                out.append(
+                    {
+                        "ph": "i",
+                        "name": kind,
+                        "ts": event["t"],
+                        "pid": _PID_APPS,
+                        "tid": packets[event["id"]]["submit"]["app"] + 1,
+                        "s": "t",
+                        "args": dict(event),
+                    }
+                )
+        elif kind in ("link_down", "link_up", "reroute"):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": kind,
+                    "ts": event["t"],
+                    "pid": _PID_ROUTERS,
+                    "tid": event["tile"],
+                    "s": "p",
+                    "args": dict(event),
+                }
+            )
+
+    tiles_seen: set[int] = set()
+    apps_seen: set[int] = set()
+    for tid in sorted(packets):
+        record = packets[tid]
+        submit, end = record["submit"], record["end"]
+        app_tid = submit["app"] + 1  # background (-1) renders as thread 0
+        apps_seen.add(app_tid)
+        label = f"pkt {tid} {submit['src']}->{submit['dst']}"
+        if end is not None:
+            out.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": submit["cls"],
+                    "ts": submit["t"],
+                    "dur": max(end["t"] - submit["t"], 0),
+                    "pid": _PID_APPS,
+                    "tid": app_tid,
+                    "args": {"len": submit["len"], "outcome": end["ev"]},
+                }
+            )
+        arrive = submit["t"]
+        tile = submit["src"]
+        for hop in record["hops"]:
+            tiles_seen.add(tile)
+            out.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": "hop",
+                    "ts": arrive,
+                    "dur": max(hop["t"] - arrive, 0),
+                    "pid": _PID_ROUTERS,
+                    "tid": tile,
+                    "args": {"port": hop["port"], "vc": hop["vc"]},
+                }
+            )
+            arrive = hop["t"] + link_latency
+            tile = _next_tile(header, tile, hop["port"])
+        if end is not None and end["ev"] == "eject" and record["hops"]:
+            tiles_seen.add(submit["dst"])
+            out.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": "hop",
+                    "ts": arrive,
+                    "dur": max(end["t"] - arrive, 0),
+                    "pid": _PID_ROUTERS,
+                    "tid": submit["dst"],
+                    "args": {"port": "LOCAL", "vc": -1},
+                }
+            )
+
+    meta = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_ROUTERS,
+            "tid": 0,
+            "args": {"name": "routers"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_APPS,
+            "tid": 0,
+            "args": {"name": "applications"},
+        },
+    ]
+    for tile in sorted(tiles_seen):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_ROUTERS,
+                "tid": tile,
+                "args": {"name": f"router {tile}"},
+            }
+        )
+    for app_tid in sorted(apps_seen):
+        name = f"app {app_tid - 1}" if app_tid > 0 else "background"
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_APPS,
+                "tid": app_tid,
+                "args": {"name": name},
+            }
+        )
+    return meta + out
+
+
+def _next_tile(header: dict, tile: int, port_name: str) -> int:
+    cols = int(header.get("cols", 0))
+    if cols <= 0:
+        return tile
+    return tile + {"EAST": 1, "WEST": -1, "NORTH": -cols, "SOUTH": cols}.get(
+        port_name, 0
+    )
+
+
+def write_chrome_trace(header: dict, events, path: str | Path) -> Path:
+    """Write events as a Chrome trace-event JSON file (Perfetto-loadable)."""
+    path = Path(path)
+    document = {
+        "traceEvents": chrome_trace_events(header, events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(header),
+    }
+    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels, extra: tuple = ()) -> str:
+    items = tuple(labels) + tuple(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def render_prometheus(registry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for metric in registry:
+        if metric.name not in seen_families:
+            seen_families.add(metric.name)
+            help_text = registry.help_for(metric.name)
+            if help_text:
+                lines.append(f"# HELP {metric.name} {help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts[:-1]):
+                cumulative += count
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(metric.labels, (('le', _format_value(bound)),))}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_bucket"
+                f"{_format_labels(metric.labels, (('le', '+Inf'),))} {metric.total}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_format_labels(metric.labels)}"
+                f" {_format_value(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_format_labels(metric.labels)} {metric.total}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_format_labels(metric.labels)}"
+                f" {_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(render_prometheus(registry))
+    return path
+
+
+# ----------------------------------------------------------------------
+# CSV time-series
+# ----------------------------------------------------------------------
+
+
+def write_timeseries_csv(sampler, path: str | Path) -> Path:
+    """Write a sampler's columnar buffer as CSV (one row per window)."""
+    path = Path(path)
+    lines = [",".join(sampler.header())]
+    for row in sampler.rows():
+        lines.append(
+            ",".join(
+                str(v) if isinstance(v, int) else f"{v:.6g}" for v in row
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -74,6 +74,21 @@ class PhaseProfiler:
             for name, entry in self._phases.items()
         }
 
+    def merge(self, summary: dict[str, dict[str, float]]) -> None:
+        """Fold another profiler's :meth:`summary` into this one.
+
+        Used to bring phase timings measured in ``parallel_map`` worker
+        processes back into the parent's profiler, which otherwise never
+        sees them (each worker has its own module-global ``PROFILER``).
+        """
+        for name, entry in summary.items():
+            ours = self._phases.get(name)
+            if ours is None:
+                self._phases[name] = [entry["seconds"], entry["calls"]]
+            else:
+                ours[0] += entry["seconds"]
+                ours[1] += entry["calls"]
+
     def reset(self) -> None:
         self._phases.clear()
 

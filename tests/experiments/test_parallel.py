@@ -52,6 +52,13 @@ def _crash_on_one(x: int) -> int:
     return x
 
 
+def _timed_square(x: int) -> int:
+    from repro.utils import profiling
+
+    with profiling.phase("cell.compute"):
+        return x * x
+
+
 def _small_instance() -> OBMInstance:
     rng = np.random.default_rng(7)
     model = MeshLatencyModel(Mesh.square(4))
@@ -187,6 +194,101 @@ class TestWorkerKnobs:
         assert supports_workers(fig9)
         assert not supports_workers(_square)
         assert not supports_workers(lambda fast=False: None)
+
+
+class TestOnResult:
+    def test_serial_reports_in_order(self):
+        seen = []
+        out = parallel_map(
+            _square, [4, 2, 3], workers=1, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert out == [16, 4, 9]
+        assert seen == [(0, 16), (1, 4), (2, 9)]
+
+    def test_parallel_reports_every_cell_in_order(self):
+        seen = []
+        cells = list(range(8))
+        out = parallel_map(
+            _square, cells, workers=4, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert out == [c * c for c in cells]
+        assert seen == [(i, c * c) for i, c in enumerate(cells)]
+
+    def test_failed_cell_reports_none(self):
+        seen = []
+        out = parallel_map(
+            _fail_on_three,
+            [1, 3, 5],
+            workers=1,
+            on_failure="none",
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [2, None, 6]
+        assert seen == [(0, 2), (1, None), (2, 6)]
+
+
+class TestWorkerProfiling:
+    """Phase timings recorded inside worker processes reach the parent."""
+
+    def _with_profiling(self):
+        from repro.utils import profiling
+
+        profiling.reset_profiling()
+        profiling.enable_profiling(True)
+        return profiling
+
+    def test_worker_phases_merged_into_parent(self):
+        profiling = self._with_profiling()
+        try:
+            out = parallel_map(_timed_square, [2, 3, 4, 5], workers=2)
+            summary = profiling.profile_summary()
+        finally:
+            profiling.enable_profiling(False)
+            profiling.reset_profiling()
+        assert out == [4, 9, 16, 25]
+        assert summary["cell.compute"]["calls"] == 4
+        assert summary["cell.compute"]["seconds"] >= 0.0
+
+    def test_results_identical_with_profiling_enabled(self):
+        profiling = self._with_profiling()
+        try:
+            fanned = parallel_map(_timed_square, [1, 2, 3], workers=2)
+        finally:
+            profiling.enable_profiling(False)
+            profiling.reset_profiling()
+        assert fanned == parallel_map(_timed_square, [1, 2, 3], workers=1)
+
+    def test_profiled_on_result_sees_unwrapped_values(self):
+        profiling = self._with_profiling()
+        seen = []
+        try:
+            parallel_map(
+                _timed_square,
+                [2, 3],
+                workers=2,
+                on_result=lambda i, r: seen.append((i, r)),
+            )
+        finally:
+            profiling.enable_profiling(False)
+            profiling.reset_profiling()
+        assert seen == [(0, 4), (1, 9)]
+
+    def test_disabled_profiler_stays_empty(self):
+        from repro.utils import profiling
+
+        profiling.reset_profiling()
+        assert parallel_map(_timed_square, [2, 3], workers=2) == [4, 9]
+        assert profiling.profile_summary() == {}
+
+    def test_merge_accumulates(self):
+        from repro.utils.profiling import PhaseProfiler
+
+        parent = PhaseProfiler()
+        parent.record("a", 1.0)
+        parent.merge({"a": {"seconds": 2.0, "calls": 3}, "b": {"seconds": 0.5, "calls": 1}})
+        summary = parent.summary()
+        assert summary["a"] == {"seconds": 3.0, "calls": 4}
+        assert summary["b"] == {"seconds": 0.5, "calls": 1}
 
 
 class TestHarnessDeterminism:

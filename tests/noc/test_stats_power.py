@@ -69,6 +69,49 @@ class TestLatencyStats:
         text = stats.report()
         assert "app 2" in text and "CACHE_REQUEST" in text
 
+    def test_by_app_summary(self):
+        stats = LatencyStats()
+        stats.add(delivered(0, 1, 0, 10, app=0))
+        stats.add(delivered(0, 2, 0, 20, app=0))
+        s = stats.by_app(0)
+        assert s.count == 2
+        assert s.mean == pytest.approx(15.0)
+
+    def test_histogram_by_app(self):
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        stats = LatencyStats()
+        for lat in (10, 20, 30):
+            stats.add(delivered(0, 1, 0, lat, app=0))
+        stats.add(delivered(0, 2, 0, 40, app=1))
+        hists = stats.histogram_by_app()
+        assert sorted(hists) == [0, 1]
+        assert hists[0].total == 3
+        assert hists[1].total == 1
+        assert hists[0].bounds == LATENCY_BUCKETS  # shared layout: mergeable
+        assert hists[0].sum == pytest.approx(60.0)
+
+    def test_percentiles_by_app_match_numpy(self):
+        stats = LatencyStats()
+        latencies = list(range(1, 101))
+        for lat in latencies:
+            stats.add(delivered(0, 1, 0, lat, app=0))
+        pct = stats.percentiles_by_app()[0]
+        assert pct["p50"] == pytest.approx(np.percentile(latencies, 50))
+        assert pct["p95"] == pytest.approx(np.percentile(latencies, 95))
+        assert pct["p99"] == pytest.approx(np.percentile(latencies, 99))
+
+    def test_histogram_percentiles_bracket_exact(self):
+        """Bucketed quantiles agree with exact ones to within one bucket."""
+        stats = LatencyStats()
+        for lat in range(5, 200, 3):
+            stats.add(delivered(0, 1, 0, lat, app=0))
+        exact = stats.percentiles_by_app()[0]
+        bucketed = stats.histogram_by_app()[0].percentiles()
+        for key in ("p50", "p95", "p99"):
+            # Buckets are 2-per-octave: within ~50% relative is guaranteed.
+            assert bucketed[key] == pytest.approx(exact[key], rel=0.5)
+
 
 class TestPowerModel:
     def test_energy_accumulation(self):

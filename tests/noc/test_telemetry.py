@@ -1,0 +1,142 @@
+"""Direct tests of NetworkTelemetry reset/diff semantics and
+TelemetrySnapshot's utilisation views."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.network import Network
+from repro.noc.packet import Packet, TrafficClass
+from repro.noc.routing import Port
+from repro.noc.telemetry import NetworkTelemetry, TelemetrySnapshot
+
+
+def run_traffic(net: Network, n: int, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        src, dst = rng.integers(net.mesh.n_tiles, size=2)
+        net.submit(
+            Packet(
+                src=int(src),
+                dst=int(dst),
+                traffic_class=TrafficClass.CACHE_REQUEST,
+                created_at=net.now,
+            )
+        )
+    net.drain()
+
+
+class TestSnapshotViews:
+    def test_link_utilisation_zero_cycles(self):
+        """A snapshot spanning zero cycles reports 0.0 everywhere, not NaN."""
+        snap = TelemetrySnapshot(
+            router_flits=np.zeros(4, dtype=np.int64),
+            buffer_writes=np.zeros(4, dtype=np.int64),
+            link_flits={(0, Port.EAST): 7, (1, Port.WEST): 3},
+            cycles=0,
+        )
+        util = snap.link_utilisation()
+        assert util == {(0, Port.EAST): 0.0, (1, Port.WEST): 0.0}
+        assert snap.hottest_links() == [((0, Port.EAST), 0.0), ((1, Port.WEST), 0.0)]
+
+    def test_link_utilisation_is_flits_per_cycle(self):
+        snap = TelemetrySnapshot(
+            router_flits=np.zeros(4, dtype=np.int64),
+            buffer_writes=np.zeros(4, dtype=np.int64),
+            link_flits={(0, Port.EAST): 50, (1, Port.WEST): 25, (2, Port.NORTH): 0},
+            cycles=100,
+        )
+        util = snap.link_utilisation()
+        assert util[(0, Port.EAST)] == pytest.approx(0.5)
+        assert util[(1, Port.WEST)] == pytest.approx(0.25)
+        assert util[(2, Port.NORTH)] == 0.0
+
+    def test_hottest_links_orders_and_truncates(self):
+        snap = TelemetrySnapshot(
+            router_flits=np.zeros(4, dtype=np.int64),
+            buffer_writes=np.zeros(4, dtype=np.int64),
+            link_flits={(0, Port.EAST): 10, (1, Port.WEST): 30, (2, Port.SOUTH): 20},
+            cycles=10,
+        )
+        top2 = snap.hottest_links(2)
+        assert [k for k, _ in top2] == [(1, Port.WEST), (2, Port.SOUTH)]
+        assert [u for _, u in top2] == [pytest.approx(3.0), pytest.approx(2.0)]
+
+    def test_total_flit_hops(self):
+        snap = TelemetrySnapshot(
+            router_flits=np.zeros(4, dtype=np.int64),
+            buffer_writes=np.zeros(4, dtype=np.int64),
+            link_flits={(0, Port.EAST): 10, (1, Port.WEST): 30},
+            cycles=10,
+        )
+        assert snap.total_flit_hops == 40
+
+
+class TestResetDiff:
+    def test_snapshot_counts_only_since_baseline(self):
+        """Telemetry created mid-run excludes activity before creation."""
+        net = Network(Mesh.square(4))
+        run_traffic(net, 50, seed=1)
+        telemetry = NetworkTelemetry(net)
+        snap = telemetry.snapshot()
+        assert snap.cycles == 0
+        assert int(snap.router_flits.sum()) == 0
+        assert snap.total_flit_hops == 0
+
+        run_traffic(net, 50, seed=2)
+        snap = telemetry.snapshot()
+        assert snap.cycles > 0
+        assert int(snap.router_flits.sum()) > 0
+        assert snap.total_flit_hops > 0
+
+    def test_reset_rebaselines(self):
+        net = Network(Mesh.square(4))
+        telemetry = NetworkTelemetry(net)
+        run_traffic(net, 50, seed=3)
+        first = telemetry.snapshot()
+        telemetry.reset()
+        zero = telemetry.snapshot()
+        assert zero.cycles == 0
+        assert int(zero.router_flits.sum()) == 0
+        assert zero.total_flit_hops == 0
+        assert first.total_flit_hops > 0
+
+    def test_successive_windows_sum_to_total(self):
+        net = Network(Mesh.square(4))
+        total = NetworkTelemetry(net)
+        windowed = NetworkTelemetry(net)
+        run_traffic(net, 40, seed=4)
+        w1 = windowed.snapshot()
+        windowed.reset()
+        run_traffic(net, 40, seed=5)
+        w2 = windowed.snapshot()
+        overall = total.snapshot()
+        assert w1.total_flit_hops + w2.total_flit_hops == overall.total_flit_hops
+        assert w1.cycles + w2.cycles == overall.cycles
+        assert int((w1.router_flits + w2.router_flits - overall.router_flits).sum()) == 0
+
+    def test_snapshot_matches_conservation_identity(self):
+        """Link hops == switch traversals minus ejections (per network docs)."""
+        net = Network(Mesh.square(4))
+        telemetry = NetworkTelemetry(net)
+        run_traffic(net, 100, seed=6)
+        snap = telemetry.snapshot()
+        assert snap.total_flit_hops == int(snap.router_flits.sum()) - net.flits_ejected
+
+
+class TestMandatoryLinkCounter:
+    def test_missing_flits_carried_raises(self):
+        """A link class without the counter fails loudly, not with zeros."""
+
+        class BadLink:
+            pass
+
+        net = Network(Mesh.square(4))
+        key = next(iter(net.links))
+        original = net.links[key]
+        net.links[key] = BadLink()
+        try:
+            with pytest.raises(TypeError, match="flits_carried"):
+                NetworkTelemetry(net)
+        finally:
+            net.links[key] = original

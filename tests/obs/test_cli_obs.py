@@ -1,0 +1,131 @@
+"""CLI surface of the observability layer: simulate output flags and the
+``trace`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.traceio import read_trace, validate_trace
+
+
+SIM_BASE = [
+    "simulate", "--workload", "C1", "--mesh", "4", "--algorithm", "global",
+    "--warmup", "100", "--measure", "400",
+]
+
+
+def simulate_with_trace(tmp_path, *extra):
+    trace_path = tmp_path / "t.jsonl"
+    code = main(SIM_BASE + ["--trace-out", str(trace_path), *extra])
+    assert code == 0
+    return trace_path
+
+
+class TestSimulateFlags:
+    def test_all_outputs_written_and_valid(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        chrome = tmp_path / "c.json"
+        metrics = tmp_path / "m.prom"
+        series = tmp_path / "ts.csv"
+        code = main(SIM_BASE + [
+            "--trace-out", str(trace),
+            "--chrome-trace", str(chrome),
+            "--metrics-out", str(metrics),
+            "--timeseries-out", str(series),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics" in out and "time series" in out
+
+        assert validate_trace(read_trace(trace)) == []
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        prom = metrics.read_text()
+        assert "# TYPE repro_packets_delivered_total counter" in prom
+        assert "repro_packet_latency_cycles_bucket" in prom
+        csv_lines = series.read_text().splitlines()
+        assert csv_lines[0].startswith("cycle,window,")
+        assert len(csv_lines) > 1
+
+    def test_no_flags_means_no_observability(self, capsys, tmp_path):
+        code = main(SIM_BASE)
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().out
+
+    def test_trace_sampling_flags(self, capsys, tmp_path):
+        full = read_trace(simulate_with_trace(tmp_path))
+        sampled_path = tmp_path / "s.jsonl"
+        code = main(SIM_BASE + [
+            "--trace-out", str(sampled_path), "--trace-every", "4",
+        ])
+        assert code == 0
+        sampled = read_trace(sampled_path)
+        assert sampled.header["trace_every"] == 4
+        assert sampled.footer["packets_traced"] < full.footer["packets_traced"]
+        assert sampled.footer["packets_submitted"] == full.footer["packets_submitted"]
+
+    def test_trace_apps_filter(self, tmp_path):
+        path = simulate_with_trace(tmp_path, "--trace-apps", "0,2")
+        trace = read_trace(path)
+        assert trace.header["trace_apps"] == [0, 2]
+        submits = [e for e in trace.events if e["ev"] == "submit"]
+        assert submits
+        assert {e["app"] for e in submits} <= {0, 2}
+
+    def test_trace_buffer_bounds_events(self, tmp_path):
+        path = simulate_with_trace(tmp_path, "--trace-buffer", "32")
+        trace = read_trace(path)
+        assert len(trace.events) <= 32
+        assert trace.footer["events_dropped"] > 0
+
+    def test_same_seed_byte_identical_trace(self, tmp_path):
+        a = simulate_with_trace(tmp_path)
+        b_path = tmp_path / "b.jsonl"
+        assert main(SIM_BASE + ["--trace-out", str(b_path)]) == 0
+        assert a.read_bytes() == b_path.read_bytes()
+
+    def test_bad_trace_apps_rejected(self):
+        with pytest.raises(SystemExit):
+            main(SIM_BASE + ["--trace-out", "/tmp/x.jsonl", "--trace-apps", "zero"])
+
+
+class TestTraceSubcommand:
+    def test_slowest_and_percentiles(self, capsys, tmp_path):
+        path = simulate_with_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", str(path), "--slowest", "3", "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "traced packets" in out
+        assert "p95" in out and "p99" in out
+        assert out.count("packet ") == 3
+        assert "tile" in out  # per-hop breakdown present
+
+    def test_app_filter(self, capsys, tmp_path):
+        path = simulate_with_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path), "--app", "1", "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "app 1" in out
+        assert "app 0" not in out
+
+    def test_chrome_conversion(self, capsys, tmp_path):
+        path = simulate_with_trace(tmp_path)
+        chrome = tmp_path / "c.json"
+        assert main(["trace", str(path), "--slowest", "0", "--chrome", str(chrome)]) == 0
+        doc = json.loads(chrome.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "M", "i"}
+
+    def test_validate_rejects_corrupt_file(self, capsys, tmp_path):
+        path = simulate_with_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        event = json.loads(lines[1])
+        event["ev"] = "warp"
+        lines[1] = json.dumps(event)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        code = main(["trace", str(bad), "--validate"])
+        assert code == 1
+        assert "invalid" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Exporter formats: JSONL round-trip, Chrome trace shape, Prometheus text,
+CSV time-series — and byte-identical determinism across same-seed runs."""
+
+import json
+
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import UniformRandomTraffic
+from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
+from repro.obs.exporters import (
+    chrome_trace_events,
+    render_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+    write_timeseries_csv,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.traceio import read_trace, validate_trace
+
+
+@pytest.fixture(scope="module")
+def run():
+    mesh = Mesh.square(4)
+    traffic = UniformRandomTraffic(mesh.n_tiles, 0.05, length=4, seed=7)
+    obs = Observability(
+        ObservabilityConfig(trace=TraceConfig(), sample=SamplerConfig(every=100))
+    )
+    sim = NoCSimulator(mesh, traffic, obs=obs)
+    result = sim.run(warmup=100, measure=500)
+    return obs, result
+
+
+class TestJsonl:
+    def test_round_trip_and_schema(self, run, tmp_path):
+        obs, _ = run
+        path = write_trace_jsonl(obs.tracer, tmp_path / "t.jsonl")
+        trace = read_trace(path)
+        assert validate_trace(trace) == []
+        assert trace.header["schema"] == "repro-noc-trace"
+        assert len(trace.events) == obs.tracer.events_retained
+        assert trace.footer["packets_traced"] == obs.tracer.packets_traced
+
+    def test_byte_identical_same_seed(self, tmp_path):
+        def one(path):
+            mesh = Mesh.square(4)
+            traffic = UniformRandomTraffic(mesh.n_tiles, 0.05, length=4, seed=9)
+            obs = Observability(ObservabilityConfig(trace=TraceConfig()))
+            NoCSimulator(mesh, traffic, obs=obs).run(warmup=100, measure=400)
+            return write_trace_jsonl(obs.tracer, path).read_bytes()
+
+        assert one(tmp_path / "a.jsonl") == one(tmp_path / "b.jsonl")
+
+
+class TestChromeTrace:
+    def test_document_shape(self, run, tmp_path):
+        obs, _ = run
+        path = write_chrome_trace(
+            obs.tracer.header(), list(obs.tracer.events()), tmp_path / "c.json"
+        )
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases <= {"X", "M", "i"}
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_router_spans_chain_across_the_route(self, run):
+        obs, _ = run
+        events = chrome_trace_events(obs.tracer.header(), list(obs.tracer.events()))
+        spans = [e for e in events if e["ph"] == "X" and e["cat"] == "hop"]
+        assert spans
+        by_name: dict = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        link_latency = obs.tracer.meta["link_latency"]
+        for name, chain in by_name.items():
+            for prev, nxt in zip(chain, chain[1:]):
+                # Next residency starts one link after the previous departure.
+                assert nxt["ts"] == prev["ts"] + prev["dur"] + link_latency
+                assert nxt["tid"] != prev["tid"]
+
+    def test_app_spans_cover_latency(self, run):
+        obs, _ = run
+        events = chrome_trace_events(obs.tracer.header(), list(obs.tracer.events()))
+        app_spans = [e for e in events if e["ph"] == "X" and e.get("cat") != "hop"]
+        ejects = {
+            e["id"]: e for e in obs.tracer.events() if e["ev"] == "eject"
+        }
+        assert len(app_spans) == len(ejects)
+        for span in app_spans:
+            assert span["args"]["outcome"] == "eject"
+
+    def test_metadata_tracks(self, run):
+        obs, _ = run
+        events = chrome_trace_events(obs.tracer.header(), list(obs.tracer.events()))
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {"routers", "applications"}
+
+
+class TestPrometheus:
+    def test_counter_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total", help="a test counter", app="1").inc(3)
+        reg.gauge("repro_test_ratio").set(0.5)
+        text = render_prometheus(reg)
+        assert "# HELP repro_test_total a test counter" in text
+        assert "# TYPE repro_test_total counter" in text
+        assert 'repro_test_total{app="1"} 3' in text
+        assert "repro_test_ratio 0.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", bounds=(1.0, 2.0), app="0")
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        text = render_prometheus(reg)
+        assert 'repro_lat_bucket{app="0",le="1"} 1' in text
+        assert 'repro_lat_bucket{app="0",le="2"} 2' in text
+        assert 'repro_lat_bucket{app="0",le="+Inf"} 3' in text
+        assert 'repro_lat_count{app="0"} 3' in text
+        assert 'repro_lat_sum{app="0"} 11' in text
+
+    def test_full_run_registry_renders(self, run, tmp_path):
+        obs, result = run
+        path = write_prometheus(obs.registry, tmp_path / "m.prom")
+        text = path.read_text()
+        assert f"repro_packets_delivered_total {result.packets_delivered}" in text
+        assert "repro_packet_latency_cycles_bucket" in text
+        # One TYPE line per family, even with several children.
+        assert text.count("# TYPE repro_packet_latency_cycles histogram") == 1
+
+
+class TestTimeseriesCsv:
+    def test_csv_shape(self, run, tmp_path):
+        obs, _ = run
+        path = write_timeseries_csv(obs.sampler, tmp_path / "ts.csv")
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert header[:2] == ["cycle", "window"]
+        assert any(h.startswith("util_") for h in header)
+        assert len(lines) == 1 + obs.sampler.n_samples
+        for line in lines[1:]:
+            assert len(line.split(",")) == len(header)
+
+    def test_windows_partition_the_run(self, run):
+        obs, _ = run
+        cols = obs.sampler.columns
+        # Sample windows tile the run contiguously from the first sample on.
+        for prev, nxt, window in zip(cols["cycle"], cols["cycle"][1:], cols["window"][1:]):
+            assert nxt - prev == window
+        # The run drained without faults, so windowed injections and
+        # ejections both telescope to the same network-lifetime total.
+        assert sum(cols["flits_injected"]) == sum(cols["flits_ejected"])
+        assert sum(cols["flits_dropped"]) == 0
+        assert cols["in_flight_flits"][-1] == 0  # final sample is post-drain

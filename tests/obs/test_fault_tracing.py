@@ -1,0 +1,116 @@
+"""Fault-path trace events: link up/down, reroute, drop/retry/loss spans."""
+
+from __future__ import annotations
+
+from repro.core.latency import Mesh
+from repro.noc import (
+    FaultConfig,
+    FaultSchedule,
+    LinkDownWindow,
+    Network,
+    Packet,
+    Port,
+    TrafficClass,
+    UniformRandomTraffic,
+)
+from repro.obs.tracing import PacketTracer
+from repro.obs.traceio import summarize
+from repro.obs.exporters import write_trace_jsonl
+from repro.obs.traceio import read_trace, validate_trace
+
+
+def _packet(src, dst, created_at=0, length=1):
+    return Packet(src=src, dst=dst, traffic_class=TrafficClass.CACHE_REQUEST,
+                  created_at=created_at, length=length)
+
+
+def _traced_net(schedule):
+    tracer = PacketTracer()
+    net = Network(Mesh.square(4), faults=schedule, tracer=tracer)
+    return net, tracer
+
+
+class TestLinkWindows:
+    def test_link_down_up_events(self):
+        schedule = FaultSchedule(
+            link_windows=(LinkDownWindow(5, Port.EAST, 2, 10),)
+        )
+        net, tracer = _traced_net(schedule)
+        for _ in range(20):
+            net.step()
+        kinds = [e["ev"] for e in tracer.events()]
+        assert kinds.count("link_down") == 1
+        assert kinds.count("link_up") == 1
+        down = next(e for e in tracer.events() if e["ev"] == "link_down")
+        assert (down["tile"], down["port"], down["t"]) == (5, "EAST", 2)
+
+    def test_reroute_event_on_dead_link(self):
+        # Packet 4 -> 6 wants EAST out of 4 then 5; kill 4:EAST so the head
+        # flit must detour.
+        schedule = FaultSchedule(link_windows=(LinkDownWindow(4, Port.EAST, 0, 100),))
+        net, tracer = _traced_net(schedule)
+        net.submit(_packet(4, 6, created_at=net.now))
+        net.drain()
+        reroutes = [e for e in tracer.events() if e["ev"] == "reroute"]
+        assert reroutes
+        assert reroutes[0]["tile"] == 4
+        assert reroutes[0]["blocked"] == "EAST"
+        assert reroutes[0]["port"] != "EAST"
+
+
+class TestDropRetryLoss:
+    def test_retry_events_recorded(self):
+        schedule = FaultSchedule(
+            config=FaultConfig(drop_rate=0.2, max_retries=50, seed=3)
+        )
+        net, tracer = _traced_net(schedule)
+        for i in range(30):
+            net.submit(_packet(0, 15, created_at=net.now, length=4))
+            for _ in range(5):
+                net.step()
+        net.drain()
+        stats = net.fault_stats
+        events = list(tracer.events())
+        retries = [e for e in events if e["ev"] == "retry"]
+        teardowns = [e for e in events if e["ev"] == "teardown"]
+        assert stats.packets_retried > 0  # the scenario exercised retries
+        assert len(retries) == stats.packets_retried
+        assert len(teardowns) == stats.packets_dropped
+
+    def test_lost_packet_closes_span(self):
+        schedule = FaultSchedule(
+            config=FaultConfig(drop_rate=0.9, max_retries=1, seed=1)
+        )
+        net, tracer = _traced_net(schedule)
+        for i in range(10):
+            net.submit(_packet(0, 15, created_at=net.now, length=4))
+        net.drain()
+        stats = net.fault_stats
+        lost = [e for e in tracer.events() if e["ev"] == "lost"]
+        assert stats.packets_lost > 0
+        assert len(lost) == stats.packets_lost
+        for e in lost:
+            assert e["retries"] >= 1
+
+    def test_faulty_trace_survives_schema_and_summary(self, tmp_path):
+        schedule = FaultSchedule(
+            link_windows=(LinkDownWindow(5, Port.EAST, 10, 60),),
+            config=FaultConfig(drop_rate=0.1, max_retries=3, seed=2),
+        )
+        tracer = PacketTracer()
+        mesh = Mesh.square(4)
+        traffic = UniformRandomTraffic(mesh.n_tiles, 0.05, length=4, seed=5)
+        net = Network(mesh, faults=schedule, tracer=tracer)
+        for _ in range(300):
+            for p in traffic.packets_for_cycle(net.now):
+                net.submit(p)
+            net.step()
+        net.drain()
+        path = write_trace_jsonl(tracer, tmp_path / "faulty.jsonl")
+        trace = read_trace(path)
+        assert validate_trace(trace) == []
+        packets = summarize(trace)
+        outcomes = {p.outcome for p in packets}
+        assert "delivered" in outcomes
+        # Retried packets report their retry count in the summary.
+        assert all(p.retries >= 0 for p in packets)

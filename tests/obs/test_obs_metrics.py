@@ -1,0 +1,162 @@
+"""Unit tests of the metric primitives and registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+)
+
+
+class TestBuckets:
+    def test_default_layout(self):
+        assert LATENCY_BUCKETS[0] == 1.0
+        assert LATENCY_BUCKETS[-1] == pytest.approx(8192.0)
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        # 2 per octave over 13 octaves, endpoints inclusive.
+        assert len(LATENCY_BUCKETS) == 27
+
+    def test_custom_layout(self):
+        bounds = latency_buckets(1.0, 8.0, per_octave=1)
+        assert bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_invalid_layouts(self):
+        with pytest.raises(ValueError):
+            latency_buckets(0.0, 8.0)
+        with pytest.raises(ValueError):
+            latency_buckets(8.0, 4.0)
+        with pytest.raises(ValueError):
+            latency_buckets(1.0, 8.0, per_octave=0)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = Gauge("y")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.set(-1.0)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_observe_and_mean(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        h.observe_many([0.5, 1.5, 3.0, 100.0])
+        assert h.total == 4
+        assert h.counts == [1, 1, 1, 1]  # last is the overflow bucket
+        assert h.mean == pytest.approx(105.0 / 4)
+
+    def test_quantiles_interpolate(self):
+        h = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(100):
+            h.observe(15.0)  # all land in the (10, 20] bucket
+        # Any quantile interpolates within that bucket.
+        assert 10.0 <= h.quantile(0.5) <= 20.0
+        assert h.quantile(0.0) == pytest.approx(10.0)
+
+    def test_quantile_overflow_clamps(self):
+        h = Histogram("h", bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_validation(self):
+        h = Histogram("h", bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(0.5)  # empty
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_percentiles_triple(self):
+        h = Histogram("h")
+        h.observe_many(range(1, 101))
+        p = h.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_merge(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.total == 3
+        assert a.counts == [1, 1, 1]
+        assert a.sum == pytest.approx(7.0)
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 4.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", app="1")
+        b = reg.counter("hits", app="1")
+        c = reg.counter("hits", app="2")
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", app="1", cls="req")
+        b = reg.counter("x", cls="req", app="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x", app="1")
+
+    def test_iteration_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", app="2")
+        reg.counter("a", app="1")
+        names = [(m.name, m.labels) for m in reg]
+        assert names == sorted(names)
+
+    def test_as_dict_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="count").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        d = reg.as_dict()
+        assert d["c"][0]["value"] == 3
+        assert d["g"][0]["value"] == 1.5
+        assert d["h"][0]["count"] == 1
+        assert d["h"][0]["buckets"] == [(1.0, 0), (2.0, 1)]
+        assert d["h"][0]["overflow"] == 0
+
+    def test_help_for(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="first wins")
+        reg.counter("c", app="1")
+        assert reg.help_for("c") == "first wins"
+        assert reg.help_for("missing") == ""

@@ -1,0 +1,162 @@
+"""Trace file reading, schema validation and lifecycle reconstruction."""
+
+import json
+
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.network import Network
+from repro.noc.packet import Packet, TrafficClass
+from repro.obs.exporters import write_trace_jsonl
+from repro.obs.tracing import PacketTracer, TraceConfig
+from repro.obs.traceio import (
+    HopRecord,
+    format_packet,
+    per_app_percentiles,
+    read_trace,
+    slowest,
+    summarize,
+    validate_trace,
+)
+
+
+def write_one_packet_trace(tmp_path, src=0, dst=15):
+    mesh = Mesh.square(4)
+    tracer = PacketTracer()
+    net = Network(mesh, tracer=tracer)
+    p = Packet(src=src, dst=dst, traffic_class=TrafficClass.CACHE_REQUEST,
+               created_at=net.now)
+    net.submit(p)
+    net.drain()
+    return write_trace_jsonl(tracer, tmp_path / "one.jsonl"), p
+
+
+class TestReadValidate:
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
+
+    def test_valid_trace_has_no_errors(self, tmp_path):
+        path, _ = write_one_packet_trace(tmp_path)
+        assert validate_trace(path) == []
+
+    def test_detects_wrong_schema_and_missing_footer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"schema": "other", "version": 99}) + "\n")
+        errors = validate_trace(path)
+        assert any("schema" in e for e in errors)
+        assert any("version" in e for e in errors)
+        assert any("footer" in e for e in errors)
+
+    def test_detects_bad_event_fields(self, tmp_path):
+        good, _ = write_one_packet_trace(tmp_path)
+        lines = good.read_text().splitlines()
+        event = json.loads(lines[1])
+        assert event["ev"] == "submit"
+        event["src"] = "zero"  # must be an int
+        lines[1] = json.dumps(event)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        errors = validate_trace(bad)
+        assert any("'src'" in e for e in errors)
+
+    def test_detects_time_going_backwards(self, tmp_path):
+        good, _ = write_one_packet_trace(tmp_path)
+        lines = good.read_text().splitlines()
+        event = json.loads(lines[2])
+        event["t"] = -5
+        lines[2] = json.dumps(event)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        assert any("backwards" in e for e in validate_trace(bad))
+
+    def test_detects_unknown_event_kind(self, tmp_path):
+        good, _ = write_one_packet_trace(tmp_path)
+        lines = good.read_text().splitlines()
+        lines.insert(2, json.dumps({"ev": "warp", "t": 0}))
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        assert any("unknown kind" in e for e in validate_trace(bad))
+
+
+class TestSummarize:
+    def test_reconstructs_full_route(self, tmp_path):
+        path, packet = write_one_packet_trace(tmp_path, src=0, dst=15)
+        packets = summarize(read_trace(path))
+        assert len(packets) == 1
+        pt = packets[0]
+        assert pt.outcome == "delivered"
+        assert pt.latency == packet.latency
+        # XY route 0->15 on a 4x4 mesh: 3 EAST, 3 SOUTH, then ejection.
+        assert [h.port for h in pt.hops] == ["EAST"] * 3 + ["SOUTH"] * 3 + ["LOCAL"]
+        assert pt.hops[-1].tile == 15
+
+    def test_hop_dwells_sum_to_latency(self, tmp_path):
+        path, _ = write_one_packet_trace(tmp_path)
+        trace = read_trace(path)
+        link_latency = trace.header["link_latency"]
+        pt = summarize(trace)[0]
+        dwell_total = sum(h.dwell for h in pt.hops)
+        links = (len(pt.hops) - 1) * link_latency
+        assert dwell_total + links == pt.latency
+
+    def test_queue_wait_is_first_departure_delta(self, tmp_path):
+        path, _ = write_one_packet_trace(tmp_path)
+        pt = summarize(read_trace(path))[0]
+        assert pt.queue_wait == pt.hops[0].departed - pt.created
+
+    def test_hop_record_dwell(self):
+        hop = HopRecord(tile=3, port="EAST", vc=0, arrived=10, departed=14)
+        assert hop.dwell == 4
+
+
+class TestAnalysis:
+    def _packets(self, latencies, app=0):
+        from repro.obs.traceio import PacketTrace
+
+        out = []
+        for i, lat in enumerate(latencies):
+            p = PacketTrace(id=i, src=0, dst=1, app=app, cls="CACHE_REQUEST",
+                            length=1, created=0)
+            p.latency = lat
+            p.outcome = "delivered"
+            out.append(p)
+        return out
+
+    def test_slowest_sorts_and_breaks_ties_by_id(self):
+        packets = self._packets([5, 9, 9, 1])
+        top = slowest(packets, 3)
+        assert [(p.latency, p.id) for p in top] == [(9, 1), (9, 2), (5, 0)]
+
+    def test_slowest_skips_undelivered(self):
+        packets = self._packets([5, 7])
+        packets[0].latency = None
+        assert [p.id for p in slowest(packets, 5)] == [1]
+
+    def test_per_app_percentiles_exact(self):
+        packets = self._packets(list(range(1, 101)))
+        stats = per_app_percentiles(packets)[0]
+        assert stats["count"] == 100
+        assert stats["p50"] == pytest.approx(50.5)
+        assert stats["p95"] == pytest.approx(95.05)
+        assert stats["max"] == 100.0
+
+    def test_per_app_percentiles_singleton(self):
+        stats = per_app_percentiles(self._packets([42]))[0]
+        assert stats["p50"] == 42.0
+        assert stats["p99"] == 42.0
+
+    def test_format_packet_mentions_every_hop(self, tmp_path):
+        path, _ = write_one_packet_trace(tmp_path)
+        pt = summarize(read_trace(path))[0]
+        text = format_packet(pt)
+        assert "delivered" in text
+        assert text.count("tile") == len(pt.hops)

@@ -1,0 +1,151 @@
+"""Tracer semantics: sampling, filtering, ring-buffer bounds, determinism."""
+
+import pytest
+
+from repro.core.latency import Mesh
+from repro.noc.network import Network
+from repro.noc.packet import Packet, TrafficClass
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import UniformRandomTraffic
+from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
+from repro.obs.tracing import EVENT_FIELDS, PacketTracer
+
+
+def traced_run(mesh_side=4, *, every=1, apps=None, buffer=262_144, seed=7,
+               warmup=100, measure=500, rate=0.05):
+    mesh = Mesh.square(mesh_side)
+    traffic = UniformRandomTraffic(mesh.n_tiles, rate, length=4, seed=seed)
+    obs = Observability(
+        ObservabilityConfig(trace=TraceConfig(every=every, apps=apps, buffer=buffer))
+    )
+    sim = NoCSimulator(mesh, traffic, obs=obs)
+    result = sim.run(warmup=warmup, measure=measure)
+    return obs.tracer, result
+
+
+class TestLifecycle:
+    def test_every_traced_packet_has_full_span(self):
+        tracer, _ = traced_run()
+        events = list(tracer.events())
+        submits = {e["id"] for e in events if e["ev"] == "submit"}
+        ejects = {e["id"] for e in events if e["ev"] == "eject"}
+        assert submits  # the run produced traffic
+        assert ejects == submits  # drained run: every traced packet ejected
+
+    def test_hop_count_matches_manhattan_distance(self):
+        """XY routing: hops per packet == Manhattan distance + ejection."""
+        mesh = Mesh.square(4)
+        tracer = PacketTracer()
+        net = Network(mesh, tracer=tracer)
+        p = Packet(src=0, dst=15, traffic_class=TrafficClass.CACHE_REQUEST,
+                   created_at=net.now)
+        net.submit(p)
+        net.drain()
+        events = list(tracer.events())
+        hops = [e for e in events if e["ev"] == "hop"]
+        # 6 mesh hops: 3 EAST then 3 SOUTH; the final LOCAL ejection is
+        # folded into the eject event, not a hop.
+        assert [h["port"] for h in hops] == ["EAST"] * 3 + ["SOUTH"] * 3
+        assert [h["tile"] for h in hops] == [0, 1, 2, 3, 7, 11]
+        eject = [e for e in events if e["ev"] == "eject"]
+        assert len(eject) == 1
+        assert eject[0]["latency"] == p.latency
+
+    def test_vc_alloc_events_present(self):
+        tracer, _ = traced_run()
+        kinds = {e["ev"] for e in tracer.events()}
+        assert "vc_alloc" in kinds
+
+    def test_event_fields_match_schema(self):
+        tracer, _ = traced_run()
+        for event in tracer.events():
+            expected = ("ev", "t") + EVENT_FIELDS[event["ev"]]
+            assert tuple(event) == expected
+
+
+class TestSampling:
+    def test_every_n_samples_a_fraction(self):
+        all_tracer, _ = traced_run(every=1)
+        sampled, _ = traced_run(every=4)
+        assert sampled.packets_submitted == all_tracer.packets_submitted
+        # Every 4th submission: ceil(n/4) traced.
+        assert sampled.packets_traced == -(-all_tracer.packets_traced // 4)
+
+    def test_app_filter(self):
+        mesh = Mesh.square(4)
+        tracer = PacketTracer(TraceConfig(apps=(1,)))
+        net = Network(mesh, tracer=tracer)
+        for app, dst in ((0, 5), (1, 6), (2, 7)):
+            net.submit(Packet(src=0, dst=dst, app=app,
+                              traffic_class=TrafficClass.CACHE_REQUEST,
+                              created_at=net.now))
+        net.drain()
+        submits = [e for e in tracer.events() if e["ev"] == "submit"]
+        assert [e["app"] for e in submits] == [1]
+        assert tracer.packets_submitted == 3
+        assert tracer.packets_traced == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TraceConfig(every=0)
+        with pytest.raises(ValueError):
+            TraceConfig(buffer=0)
+
+
+class TestRingBuffer:
+    def test_bounded_and_drop_accounted(self):
+        tracer, _ = traced_run(buffer=64)
+        assert tracer.events_retained <= 64
+        assert tracer.events_dropped == tracer.events_total - tracer.events_retained
+        assert tracer.events_dropped > 0  # this run overflows 64 events
+        footer = tracer.footer()
+        assert footer["events_dropped"] == tracer.events_dropped
+
+    def test_large_buffer_drops_nothing(self):
+        tracer, _ = traced_run()
+        assert tracer.events_dropped == 0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_events(self):
+        a, _ = traced_run(seed=11)
+        b, _ = traced_run(seed=11)
+        assert list(a.events()) == list(b.events())
+        assert a.header() == b.header()
+        assert a.footer() == b.footer()
+
+    def test_tracer_ids_are_run_local(self):
+        """Ids restart at 0 every run, though Packet.pid keeps counting."""
+        a, _ = traced_run(seed=11)
+        first = next(iter(a.events()))
+        assert first["ev"] == "submit"
+        assert first["id"] == 0
+
+
+class TestDisabledEquivalence:
+    def test_tracing_does_not_change_results(self):
+        mesh = Mesh.square(4)
+
+        def run(obs):
+            traffic = UniformRandomTraffic(mesh.n_tiles, 0.05, length=4, seed=3)
+            sim = NoCSimulator(mesh, traffic, obs=obs)
+            return sim.run(warmup=100, measure=500)
+
+        plain = run(None)
+        traced = run(Observability(ObservabilityConfig(
+            trace=TraceConfig(), sample=SamplerConfig(every=100))))
+        assert traced.packets_delivered == plain.packets_delivered
+        assert traced.cycles == plain.cycles
+        assert traced.stats.g_apl() == plain.stats.g_apl()
+        assert traced.stats.apl_by_app() == plain.stats.apl_by_app()
+        assert traced.counts.flit_router_traversals == plain.counts.flit_router_traversals
+
+    def test_coerce_forms(self):
+        assert Observability.coerce(None) is None
+        assert Observability.coerce(False) is None
+        obs = Observability()
+        assert Observability.coerce(obs) is obs
+        assert Observability.coerce(True) is not None
+        config = ObservabilityConfig(trace=TraceConfig())
+        coerced = Observability.coerce(config)
+        assert coerced is not None and coerced.tracer is not None
