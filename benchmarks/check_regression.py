@@ -1,0 +1,214 @@
+"""Benchmark-regression guard for the committed BENCH_perf.json baselines.
+
+Re-measures the two committed engine benchmarks -- the C1 raw-simulator
+scenario (fast-path wall-clock and vector-engine speedup) and the
+observability overhead ratio -- and exits non-zero if any tracked
+quantity regresses more than the tolerance against ``BENCH_perf.json``.
+
+Guarded quantities and directions:
+
+* ``vector_engine.single_sim.speedup``   -- must not DROP >30%
+* ``obs_overhead...overhead_ratio``      -- must not RISE >30%
+* ``engine...fastpath_seconds``          -- must not RISE >60% (seconds
+  get a wider default tolerance than ratios: absolute wall-clock varies
+  with host and machine load phase, while ratios taken from interleaved
+  rounds mostly cancel that out)
+
+All timings come from *interleaved* rounds in one process (fastpath,
+vector, tracing-on, repeat) with best-of-N per configuration -- single
+back-to-back timings of differently-bound engines are not comparable
+across machine load phases.  Every round also asserts the engines stay
+bit-identical, so a "speedup" can never come from computing less.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--rounds N]
+        [--tolerance 0.30] [--seconds-tolerance 0.60] [--update]
+
+``--update`` rewrites the measured baselines in BENCH_perf.json instead
+of failing on drift (use after intentional engine changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _scenario():
+    from repro.core.sss import sort_select_swap
+    from repro.experiments.base import standard_instance
+    from repro.noc.traffic import MappedWorkloadTraffic
+
+    instance = standard_instance("C1")
+    mapping = sort_select_swap(instance).mapping
+
+    def make():
+        return MappedWorkloadTraffic(instance, mapping, generate_replies=True, seed=13)
+
+    return instance.mesh, make
+
+
+def _signature(res):
+    return (
+        res.stats.n_packets,
+        res.stats.g_apl(),
+        res.counts.flit_router_traversals,
+        res.power.total,
+    )
+
+
+def measure(rounds: int) -> dict:
+    """Interleaved best-of-N timings for all guarded quantities."""
+    from repro.noc.simulator import NoCSimulator
+    from repro.noc.vector_engine import VectorEngine
+    from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
+
+    mesh, make = _scenario()
+
+    def fast(obs=None):
+        return NoCSimulator(mesh, make(), obs=obs).run(warmup=500, measure=4_000)
+
+    def vec():
+        return VectorEngine(mesh, [make()], mode="scalar").run(
+            warmup=500, measure=4_000
+        )[0]
+
+    def traced():
+        return fast(
+            Observability(
+                ObservabilityConfig(trace=TraceConfig(), sample=SamplerConfig(every=200))
+            )
+        )
+
+    fast()  # warm imports/allocator outside the timed rounds
+    vec()
+    t = {"fast": [], "vec": [], "trace": []}
+    for _ in range(rounds):
+        for key, fn in (("fast", fast), ("vec", vec), ("trace", traced)):
+            t0 = time.perf_counter()
+            result = fn()
+            t[key].append(time.perf_counter() - t0)
+            if key == "fast":
+                ref_sig = _signature(result)
+            else:
+                assert _signature(result) == ref_sig, f"{key} diverged from fastpath"
+    best = {k: min(v) for k, v in t.items()}
+    return {
+        "fastpath_seconds": round(best["fast"], 3),
+        "vector_seconds": round(best["vec"], 3),
+        "vector_speedup": round(best["fast"] / best["vec"], 2),
+        "obs_off_seconds": round(best["fast"], 3),
+        "obs_tracing_seconds": round(best["trace"], 3),
+        "obs_overhead_ratio": round(best["trace"] / best["fast"], 2),
+    }
+
+
+def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> list[str]:
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+
+    def guard(name, new, old, *, worse_is_higher, tolerance):
+        if old is None:
+            return
+        limit = old * (1 + tolerance) if worse_is_higher else old * (1 - tolerance)
+        ok = new <= limit if worse_is_higher else new >= limit
+        arrow = "<=" if worse_is_higher else ">="
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {name:<42s} {new:>7.3f} (baseline {old:.3f}, need {arrow} {limit:.3f}) {status}")
+        if not ok:
+            failures.append(f"{name}: {new} vs baseline {old} (tolerance {tolerance:.0%})")
+
+    engine = baseline.get("engine", {}).get("raw_simulator_c1_4000_cycles", {})
+    vector = baseline.get("vector_engine", {}).get("single_sim", {})
+    obs = baseline.get("obs_overhead", {}).get("raw_simulator_c1_4000_cycles", {})
+    print("benchmark-regression guard (C1 raw-sim, 500+4000 cycles):")
+    guard(
+        "engine.fastpath_seconds",
+        measured["fastpath_seconds"],
+        engine.get("fastpath_seconds"),
+        worse_is_higher=True,
+        tolerance=tol_seconds,
+    )
+    guard(
+        "vector_engine.single_sim.speedup",
+        measured["vector_speedup"],
+        vector.get("speedup"),
+        worse_is_higher=False,
+        tolerance=tol,
+    )
+    guard(
+        "obs_overhead.overhead_ratio",
+        measured["obs_overhead_ratio"],
+        obs.get("overhead_ratio"),
+        worse_is_higher=True,
+        tolerance=tol,
+    )
+    return failures
+
+
+def update(measured: dict, baseline: dict) -> dict:
+    """Fold the measured values back into the BENCH_perf.json structure."""
+    engine = baseline.setdefault("engine", {}).setdefault(
+        "raw_simulator_c1_4000_cycles", {}
+    )
+    engine["fastpath_seconds"] = measured["fastpath_seconds"]
+    if "seed_seconds" in engine:
+        engine["speedup"] = round(engine["seed_seconds"] / engine["fastpath_seconds"], 2)
+    single = baseline.setdefault("vector_engine", {}).setdefault("single_sim", {})
+    single.update(
+        fastpath_seconds=measured["fastpath_seconds"],
+        vector_scalar_seconds=measured["vector_seconds"],
+        speedup=measured["vector_speedup"],
+    )
+    obs = baseline.setdefault("obs_overhead", {}).setdefault(
+        "raw_simulator_c1_4000_cycles", {}
+    )
+    obs.update(
+        off_seconds=measured["obs_off_seconds"],
+        tracing_on_seconds=measured["obs_tracing_seconds"],
+        overhead_ratio=measured["obs_overhead_ratio"],
+    )
+    return baseline
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--rounds", type=int, default=3, help="interleaved rounds (best-of-N)")
+    ap.add_argument("--tolerance", type=float, default=0.30, help="ratio tolerance")
+    ap.add_argument(
+        "--seconds-tolerance",
+        type=float,
+        default=0.60,
+        help="tolerance for absolute wall-clock baselines",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the measured baselines in BENCH_perf.json",
+    )
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(BENCH_JSON.read_text())
+    measured = measure(args.rounds)
+    if args.update:
+        BENCH_JSON.write_text(
+            json.dumps(update(measured, baseline), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"updated baselines in {BENCH_JSON}: {measured}")
+        return 0
+    failures = check(measured, baseline, args.tolerance, args.seconds_tolerance)
+    if failures:
+        print("\nFAIL:", *failures, sep="\n  ")
+        return 1
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

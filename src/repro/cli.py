@@ -209,11 +209,19 @@ def _cmd_simulate(args) -> int:
         faults=None if schedule.is_trivial else schedule,
         invariants=args.invariants or None,
         obs=obs,
+        engine=args.engine,
     )
     with profiling.phase("simulate.noc"):
         measured = sim.run(warmup=args.warmup, measure=args.measure)
 
     print()
+    if measured.engine_fallback is not None:
+        print(
+            f"engine: {measured.engine} (requested {sim.engine_requested}; "
+            f"fell back: {measured.engine_fallback})"
+        )
+    else:
+        print(f"engine: {measured.engine}")
     print(measured.stats.report())
     print(
         f"delivery: {measured.packets_delivered}/{measured.packets_offered} "
@@ -337,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--warmup", type=int, default=1_000)
     p_sim.add_argument("--measure", type=int, default=5_000)
     p_sim.add_argument("--seed", type=int, default=0, help="traffic seed")
+    p_sim.add_argument(
+        "--engine", choices=["fastpath", "vector"], default="fastpath",
+        help="simulation backend; 'vector' is the SoA engine and falls "
+        "back to 'fastpath' (with a printed reason) when faults, "
+        "invariants or observability are attached",
+    )
     p_sim.add_argument(
         "--invariants", action="store_true",
         help="enable runtime invariant checking (conservation, credits, watchdog)",

@@ -49,10 +49,10 @@ def _scorecard(fast=False):
     return run_scorecard(fast=fast)
 
 
-def _measured(fast=False, workers=1):
+def _measured(fast=False, workers=1, engine="fastpath"):
     from repro.experiments.measured import measured_apl_comparison
 
-    return measured_apl_comparison("C1", fast=fast, workers=workers)
+    return measured_apl_comparison("C1", fast=fast, workers=workers, engine=engine)
 
 
 EXPERIMENTS["scorecard"] = _scorecard

@@ -35,6 +35,14 @@ def main(argv: list[str] | None = None) -> int:
         "Results are identical for any worker count.",
     )
     parser.add_argument(
+        "--engine",
+        choices=["fastpath", "vector"],
+        default="fastpath",
+        help="NoC backend for engine-aware experiments (currently 'measured'): "
+        "'vector' steps each worker's replays as one batched SoA run. "
+        "A pure wall-clock knob -- results are identical either way.",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print named phase timings (e.g. sss.swap, noc.measure) per experiment",
@@ -61,7 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.artifacts import write_artifacts
 
         written = write_artifacts(
-            args.output_dir, ids, fast=args.fast, workers=workers
+            args.output_dir, ids, fast=args.fast, workers=workers, engine=args.engine
         )
         for experiment_id, path in written.items():
             print(path.read_text())
@@ -74,6 +82,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["workers"] = workers
         if args.progress and "progress" in inspect.signature(fn).parameters:
             kwargs["progress"] = True
+        if args.engine != "fastpath" and "engine" in inspect.signature(fn).parameters:
+            kwargs["engine"] = args.engine
         if args.profile:
             profiling.reset_profiling()
         report = fn(**kwargs)

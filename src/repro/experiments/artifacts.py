@@ -8,6 +8,7 @@ an index file, so reproduction outputs can be versioned and diffed.
 
 from __future__ import annotations
 
+import inspect
 import json
 from pathlib import Path
 
@@ -46,13 +47,15 @@ def write_artifacts(
     *,
     fast: bool = False,
     workers: int = 1,
+    engine: str = "fastpath",
 ) -> dict[str, Path]:
     """Run the selected experiments and write their artifacts.
 
     Returns a map from experiment id to the written text file.  Unknown
     ids raise before anything runs.  ``workers`` is forwarded to the
     experiments that declare a ``workers`` keyword (the fan-out-capable
-    harnesses); artifact bytes are identical for any worker count.  When
+    harnesses) and ``engine`` to those that declare ``engine``; artifact
+    bytes are identical for any worker count or engine.  When
     the global profiler is enabled, each experiment's phase timings are
     written to ``<id>.profile.json`` alongside the artifact.
     """
@@ -70,6 +73,8 @@ def write_artifacts(
         kwargs = {"fast": fast}
         if workers != 1 and supports_workers(fn):
             kwargs["workers"] = workers
+        if engine != "fastpath" and "engine" in inspect.signature(fn).parameters:
+            kwargs["engine"] = engine
         if profiling.profiling_enabled():
             profiling.reset_profiling()
         report = fn(**kwargs)

@@ -32,10 +32,10 @@ def _measure_cell(cell) -> LatencyStats:
     return _measure(instance, mapping, cycles=cycles, seed=seed)
 
 
-def _measure(instance, mapping, *, cycles: int, seed: int) -> LatencyStats:
+def _traffic(instance, mapping, seed: int) -> MappedWorkloadTraffic:
     wl = instance.workload
     peak = float((wl.cache_rates + wl.mem_rates).max())
-    traffic = MappedWorkloadTraffic(
+    return MappedWorkloadTraffic(
         instance,
         mapping,
         # Busiest thread at 4% injection probability: below saturation.
@@ -43,10 +43,30 @@ def _measure(instance, mapping, *, cycles: int, seed: int) -> LatencyStats:
         generate_replies=True,
         seed=seed,
     )
+
+
+def _measure(instance, mapping, *, cycles: int, seed: int) -> LatencyStats:
+    traffic = _traffic(instance, mapping, seed)
     sim = NoCSimulator(instance.mesh, traffic)
     warmup = max(500, cycles // 10)
     result = sim.run(warmup=warmup, measure=cycles)
     return result.stats
+
+
+def _measure_batch(cells) -> list[LatencyStats]:
+    """A whole chunk of replays stepped together in one vector batch.
+
+    Bit-identical to running :func:`_measure_cell` per cell (the vector
+    engine is pinned to the fast path by the golden equivalence suite),
+    but amortizes the per-cycle Python overhead across the chunk.
+    """
+    from repro.noc.vector_engine import run_batch
+
+    instance, _, cycles, _ = cells[0]
+    traffics = [_traffic(inst, mapping, seed) for inst, mapping, _, seed in cells]
+    warmup = max(500, cycles // 10)
+    results = run_batch(instance.mesh, traffics, warmup=warmup, measure=cycles)
+    return [r.stats for r in results]
 
 
 def measured_apl_comparison(
@@ -56,12 +76,17 @@ def measured_apl_comparison(
     cycles: int = 20_000,
     fast: bool = False,
     workers: int = 1,
+    engine: str = "fastpath",
 ) -> ExperimentReport:
     """Analytic vs measured per-application APLs for chosen algorithms.
 
     Each algorithm's cycle-level replay is an independent simulation with
     a fixed seed, so ``workers > 1`` fans them across processes without
-    changing a single measured number.
+    changing a single measured number.  ``engine="vector"`` composes the
+    two amortization axes (workers x batch): the replays are chunked
+    contiguously across workers and each chunk is stepped as one batched
+    vector-engine run — still the same measured numbers, because the
+    vector engine is bit-identical to the fast path.
     """
     if fast:
         cycles = min(cycles, 4_000)
@@ -69,11 +94,17 @@ def measured_apl_comparison(
     results = run_algorithms(
         instance, fast=fast, seed_tag=config_name, algorithms=algorithms
     )
-    all_stats = parallel_map(
-        _measure_cell,
-        [(instance, results[alg].mapping, cycles, 13) for alg in algorithms],
-        workers=workers,
-    )
+    cells = [(instance, results[alg].mapping, cycles, 13) for alg in algorithms]
+    if engine == "vector":
+        k = -(-len(cells) // max(1, workers))  # ceil: contiguous chunks
+        chunks = [cells[i : i + k] for i in range(0, len(cells), k)]
+        all_stats = [
+            stats
+            for chunk in parallel_map(_measure_batch, chunks, workers=workers)
+            for stats in chunk
+        ]
+    else:
+        all_stats = parallel_map(_measure_cell, cells, workers=workers)
     rows = []
     data = {}
     for alg, stats in zip(algorithms, all_stats):

@@ -44,6 +44,7 @@ from repro.noc.traffic import (
     TransposeTraffic,
     UniformRandomTraffic,
 )
+from repro.noc.vector_engine import VectorEngine, run_batch, simulate_batch
 
 __all__ = [
     "ActivityCounts",
@@ -85,9 +86,12 @@ __all__ = [
     "TrafficGenerator",
     "TransposeTraffic",
     "UniformRandomTraffic",
+    "VectorEngine",
     "VirtualChannel",
     "detour_port",
     "route_path",
+    "run_batch",
+    "simulate_batch",
     "west_first_route",
     "xy_route",
     "yx_route",

@@ -9,6 +9,7 @@ paper's Garnet runs: given a mapping, it *measures* what the analytic
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.core.latency import Mesh
@@ -19,6 +20,11 @@ from repro.noc.traffic import TrafficGenerator
 from repro.utils import profiling
 
 __all__ = ["SimulationResult", "NoCSimulator"]
+
+logger = logging.getLogger("repro.noc")
+
+#: Engine backends accepted by :class:`NoCSimulator`.
+ENGINES = ("fastpath", "vector")
 
 
 @dataclass
@@ -37,6 +43,10 @@ class SimulationResult:
     packets_lost: int = 0
     #: completed invariant sweeps (0 unless invariant checking was enabled)
     invariant_checks: int = 0
+    #: engine that actually produced this result ("fastpath" or "vector")
+    engine: str = "fastpath"
+    #: why a requested engine was substituted (None when none was)
+    engine_fallback: str | None = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -65,12 +75,37 @@ class NoCSimulator:
         faults=None,
         invariants=None,
         obs=None,
+        engine: str = "fastpath",
     ) -> None:
         from repro.obs import Observability
 
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.mesh = mesh
         self.traffic = traffic
+        self.network_config = network_config
+        self.power_params = power_params
         self.obs = Observability.coerce(obs)
+        self.engine_requested = engine
+        self.engine_fallback = None
+        if engine == "vector":
+            # The vector engine has no per-event hooks: anything that must
+            # observe or perturb individual flits forces the fast path.
+            if self.obs is not None:
+                self.engine_fallback = (
+                    "observability attached (tracing/sampling needs per-event hooks)"
+                )
+            elif faults is not None:
+                self.engine_fallback = "fault injection attached"
+            elif invariants:
+                self.engine_fallback = "invariant checking attached"
+            if self.engine_fallback is not None:
+                logger.warning(
+                    "vector engine unavailable: %s; falling back to fastpath",
+                    self.engine_fallback,
+                )
+                engine = "fastpath"
+        self.engine = engine
         self.network = Network(
             mesh,
             network_config,
@@ -109,6 +144,17 @@ class NoCSimulator:
         """Run ``warmup`` cycles, then measure for ``measure`` cycles."""
         if warmup < 0 or measure <= 0:
             raise ValueError("warmup must be >= 0 and measure > 0")
+        if self.engine == "vector":
+            from repro.noc.vector_engine import VectorEngine
+
+            vec = VectorEngine(
+                self.mesh,
+                [self.traffic],
+                self.network_config,
+                self.power_params,
+                self.include_local,
+            )
+            return vec.run(warmup=warmup, measure=measure)[0]
         net = self.network
         sampler = None if self.obs is None else self.obs.sampler
         if sampler is not None:
@@ -165,6 +211,8 @@ class NoCSimulator:
             fault_stats=net.fault_stats,
             packets_lost=lost,
             invariant_checks=checker.checks_run if checker is not None else 0,
+            engine=self.engine,
+            engine_fallback=self.engine_fallback,
         )
         if self.obs is not None:
             self.obs.finalize(result, net)

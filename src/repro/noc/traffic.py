@@ -182,6 +182,20 @@ class MappedWorkloadTraffic(TrafficGenerator):
         self._model = instance.model
         # Replies scheduled for the future: cycle -> list of packets.
         self._pending_replies: dict[int, list[Packet]] = {}
+        # Hot-loop lookup tables: one (2, n_threads) draw buffer matching
+        # the stacked per-cycle probabilities, plus plain-list mirrors of
+        # every per-thread/per-tile quantity the packet loop touches.
+        self._p_both = np.vstack([self.p_cache, self.p_mem])
+        self._draw_buf = np.empty_like(self._p_both)
+        self._hit_buf = np.empty(self._p_both.shape, dtype=bool)
+        self._tile_l = [int(t) for t in self.thread_tile]
+        self._app_l = [int(a) for a in self.app_of_thread]
+        self._nearest_l = [self._model.nearest_mc(t) for t in range(self.n_tiles)]
+        # Zero-load arrival estimate (sans the per-packet length term):
+        # hops * (pipeline + link) + pipeline, per (src, dst).
+        self._est_l = (
+            instance.mesh.hop_matrix * self._per_hop + self._pipeline
+        ).tolist()
 
     def _make_request(self, thread: int, now: int, memory: bool) -> Packet:
         src = int(self.thread_tile[thread])
@@ -229,14 +243,71 @@ class MappedWorkloadTraffic(TrafficGenerator):
         self._pending_replies.setdefault(due, []).append(reply)
 
     def packets_for_cycle(self, now: int) -> list[Packet]:
-        draws = self._rng.random((2, self.p_cache.size))
+        # One (2, n) draw: row 0 is the cache Bernoulli trials, row 1 the
+        # memory trials — the same stream as the original stacked draw,
+        # and row-major nonzero() preserves the cache-then-memory request
+        # order (so the per-cache-request destination draws line up too).
+        self._rng.random(out=self._draw_buf)
+        hits = np.less(self._draw_buf, self._p_both, out=self._hit_buf)
+        rows, threads = hits.nonzero()
+        return self._emit(rows, threads, now)
+
+    def _emit(self, rows, threads, now: int) -> list[Packet]:
+        """Build this cycle's packets from Bernoulli hits ``(rows, threads)``.
+
+        Split out from :meth:`packets_for_cycle` so the vector engine can
+        batch the draw comparison across instances (one fused ``np.less``
+        + ``nonzero`` over a stacked buffer) and still emit per-instance
+        packets — including the interleaved per-request destination draws
+        — in exactly the single-instance stream order.
+        """
+        rng = self._rng
         out = []
-        for thread in np.flatnonzero(draws[0] < self.p_cache):
-            out.append(self._make_request(int(thread), now, memory=False))
-        for thread in np.flatnonzero(draws[1] < self.p_mem):
-            out.append(self._make_request(int(thread), now, memory=True))
+        if rows.size:
+            tile = self._tile_l
+            app = self._app_l
+            for memory, thread in zip(rows.tolist(), threads.tolist()):
+                src = tile[thread]
+                if memory:
+                    dst = self._nearest_l[src]
+                    cls = TrafficClass.MEM_REQUEST
+                else:
+                    dst = int(rng.integers(self.n_tiles))
+                    cls = TrafficClass.CACHE_REQUEST
+                out.append(
+                    Packet(
+                        src=src,
+                        dst=dst,
+                        traffic_class=cls,
+                        created_at=now,
+                        app=app[thread],
+                        thread=thread,
+                    )
+                )
         if self.generate_replies:
-            for request in out:
-                self._schedule_reply(request, now)
-            out.extend(self._pending_replies.pop(now, []))
+            if out:
+                est = self._est_l
+                pending = self._pending_replies
+                for request in out:
+                    if request.traffic_class == TrafficClass.CACHE_REQUEST:
+                        delay, cls = self.l2_latency, TrafficClass.CACHE_REPLY
+                    else:
+                        delay, cls = self.memory_latency, TrafficClass.MEM_REPLY
+                    due = (
+                        now
+                        + est[request.src][request.dst]
+                        + (request.length - 1)
+                        + delay
+                    )
+                    reply = Packet(
+                        src=request.dst,
+                        dst=request.src,
+                        traffic_class=cls,
+                        created_at=due,
+                        app=request.app,
+                        thread=request.thread,
+                    )
+                    pending.setdefault(due, []).append(reply)
+            if self._pending_replies:
+                out.extend(self._pending_replies.pop(now, []))
         return out

@@ -51,6 +51,72 @@ class TestSimulatorHarness:
         assert res.counts.buffer_writes > 0
 
 
+class TestResultEdgeCases:
+    def test_delivery_ratio_zero_offered_is_one(self):
+        """No offered packets is a perfect (vacuous) delivery, not 0/0."""
+        from repro.noc.simulator import SimulationResult
+        from repro.noc.stats import LatencyStats
+
+        res = SimulationResult(
+            stats=LatencyStats(),
+            power=None,
+            counts=None,
+            cycles=100,
+            packets_offered=0,
+            packets_delivered=0,
+        )
+        assert res.delivery_ratio == 1.0
+
+    def test_delivery_ratio_partial(self):
+        from repro.noc.simulator import SimulationResult
+        from repro.noc.stats import LatencyStats
+
+        res = SimulationResult(
+            stats=LatencyStats(),
+            power=None,
+            counts=None,
+            cycles=100,
+            packets_offered=10,
+            packets_delivered=7,
+        )
+        assert res.delivery_ratio == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("engine", ["fastpath", "vector"])
+    def test_zero_rate_window_offers_nothing(self, engine):
+        """A window with no traffic at all: zero offered packets, a clean
+        drain, and delivery_ratio defined as 1.0."""
+        sim = NoCSimulator(
+            Mesh.square(4),
+            UniformRandomTraffic(n_tiles=16, injection_rate=0.0, seed=0),
+            engine=engine,
+        )
+        res = sim.run(warmup=50, measure=200)
+        assert res.packets_offered == 0
+        assert res.packets_delivered == 0
+        assert res.delivery_ratio == 1.0
+        assert res.stats.n_packets == 0
+        assert res.counts.flit_router_traversals == 0
+
+    @pytest.mark.parametrize("engine", ["fastpath", "vector"])
+    def test_zero_warmup_is_valid(self, engine):
+        sim = NoCSimulator(
+            Mesh.square(4),
+            UniformRandomTraffic(n_tiles=16, injection_rate=0.05, seed=3),
+            engine=engine,
+        )
+        res = sim.run(warmup=0, measure=400)
+        assert res.packets_offered > 0
+        assert res.packets_delivered == res.packets_offered
+
+    def test_fastpath_result_reports_engine(self):
+        sim = NoCSimulator(
+            Mesh.square(4), UniformRandomTraffic(n_tiles=16, injection_rate=0.05, seed=0)
+        )
+        res = sim.run(warmup=50, measure=200)
+        assert res.engine == "fastpath"
+        assert res.engine_fallback is None
+
+
 @pytest.mark.slow
 class TestSimVsAnalyticModel:
     """Measured mean latency per source tile must track TC(k) (up to the
