@@ -24,15 +24,31 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py [--rounds N]
         [--tolerance 0.30] [--seconds-tolerance 0.60] [--update]
+        [--bench-json PATH]
 
 ``--update`` rewrites the measured baselines in BENCH_perf.json instead
 of failing on drift (use after intentional engine changes).
+
+Exit codes::
+
+    0  every guarded quantity is within tolerance; a baseline *section*
+       that is absent is reported as an explicit per-quantity skip (a
+       young baseline is not a regression)
+    1  at least one quantity regressed beyond tolerance
+    2  the baseline file is missing, is not valid JSON, is not a JSON
+       object, or contains none of the guarded sections -- the guard
+       cannot make a meaningful pass/fail call, and says so instead of
+       dying in a traceback
+
+The baseline is parsed *before* the (slow) measurement rounds, so a
+malformed file fails in milliseconds, not minutes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -109,12 +125,63 @@ def measure(rounds: int) -> dict:
     }
 
 
+#: Top-level baseline sections the guard reads; a file with none of them
+#: is treated as section-less (exit 2), not silently all-skip.
+GUARDED_SECTIONS = ("engine", "vector_engine", "obs_overhead")
+
+
+class BaselineError(RuntimeError):
+    """BENCH_perf.json cannot support a pass/fail decision (exit 2)."""
+
+
+def load_baseline(path: Path) -> dict:
+    """Parse and sanity-check the baseline file, or raise BaselineError."""
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise BaselineError(
+            f"baseline file {path} is missing or unreadable ({exc}); "
+            "run with --update to record one"
+        ) from exc
+    try:
+        baseline = json.loads(raw)
+    except ValueError as exc:
+        raise BaselineError(
+            f"baseline file {path} is not valid JSON ({exc}); "
+            "fix it or regenerate with --update"
+        ) from exc
+    if not isinstance(baseline, dict):
+        raise BaselineError(
+            f"baseline file {path} must be a JSON object, got {type(baseline).__name__}"
+        )
+    if not any(isinstance(baseline.get(s), dict) for s in GUARDED_SECTIONS):
+        raise BaselineError(
+            f"baseline file {path} has none of the guarded sections "
+            f"{list(GUARDED_SECTIONS)}; nothing to check -- "
+            "regenerate with --update"
+        )
+    return baseline
+
+
+def _section(baseline: dict, *keys: str) -> dict:
+    """Drill into nested baseline dicts; non-dict levels read as empty."""
+    node = baseline
+    for key in keys:
+        node = node.get(key, {}) if isinstance(node, dict) else {}
+    return node if isinstance(node, dict) else {}
+
+
 def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> list[str]:
     """Return a list of regression messages (empty = pass)."""
     failures = []
 
     def guard(name, new, old, *, worse_is_higher, tolerance):
         if old is None:
+            print(f"  {name:<42s} {new:>7.3f} (baseline missing) skip")
+            return
+        if not isinstance(old, (int, float)) or isinstance(old, bool):
+            failures.append(f"{name}: baseline value {old!r} is not a number")
+            print(f"  {name:<42s} {new:>7.3f} (baseline {old!r}) MALFORMED")
             return
         limit = old * (1 + tolerance) if worse_is_higher else old * (1 - tolerance)
         ok = new <= limit if worse_is_higher else new >= limit
@@ -124,9 +191,9 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
         if not ok:
             failures.append(f"{name}: {new} vs baseline {old} (tolerance {tolerance:.0%})")
 
-    engine = baseline.get("engine", {}).get("raw_simulator_c1_4000_cycles", {})
-    vector = baseline.get("vector_engine", {}).get("single_sim", {})
-    obs = baseline.get("obs_overhead", {}).get("raw_simulator_c1_4000_cycles", {})
+    engine = _section(baseline, "engine", "raw_simulator_c1_4000_cycles")
+    vector = _section(baseline, "vector_engine", "single_sim")
+    obs = _section(baseline, "obs_overhead", "raw_simulator_c1_4000_cycles")
     print("benchmark-regression guard (C1 raw-sim, 500+4000 cycles):")
     guard(
         "engine.fastpath_seconds",
@@ -192,16 +259,39 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the measured baselines in BENCH_perf.json",
     )
+    ap.add_argument(
+        "--bench-json",
+        type=Path,
+        default=BENCH_JSON,
+        metavar="PATH",
+        help=f"baseline file to check/update (default {BENCH_JSON.name})",
+    )
     args = ap.parse_args(argv)
 
-    baseline = json.loads(BENCH_JSON.read_text())
-    measured = measure(args.rounds)
+    bench_json = args.bench_json
     if args.update:
-        BENCH_JSON.write_text(
-            json.dumps(update(measured, baseline), indent=2, sort_keys=True) + "\n"
-        )
-        print(f"updated baselines in {BENCH_JSON}: {measured}")
+        # Updating tolerates a missing/empty baseline (that is how the
+        # first one gets recorded); anything parseable is folded into.
+        try:
+            baseline = load_baseline(bench_json)
+        except BaselineError as exc:
+            print(f"note: starting a fresh baseline ({exc})")
+            baseline = {}
+        measured = measure(args.rounds)
+        text = json.dumps(update(measured, baseline), indent=2, sort_keys=True) + "\n"
+        tmp = bench_json.with_name(f".{bench_json.name}.tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, bench_json)  # atomic: never a half-written baseline
+        print(f"updated baselines in {bench_json}: {measured}")
         return 0
+    # Parse the baseline *before* measuring: a malformed file should fail
+    # in milliseconds, not after minutes of benchmark rounds.
+    try:
+        baseline = load_baseline(bench_json)
+    except BaselineError as exc:
+        print(f"SKIP (cannot check): {exc}")
+        return 2
+    measured = measure(args.rounds)
     failures = check(measured, baseline, args.tolerance, args.seconds_tolerance)
     if failures:
         print("\nFAIL:", *failures, sep="\n  ")

@@ -441,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "experiments":
+        # The documented alias: defer to the experiments CLI wholesale so
+        # its flags (--output-dir, --max-cells, --no-resume...) stay in
+        # one place.
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if getattr(args, "profile", False):
         profiling.enable_profiling()

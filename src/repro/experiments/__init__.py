@@ -49,10 +49,12 @@ def _scorecard(fast=False):
     return run_scorecard(fast=fast)
 
 
-def _measured(fast=False, workers=1, engine="fastpath"):
+def _measured(fast=False, workers=1, engine="fastpath", ledger=None, max_cells=None):
     from repro.experiments.measured import measured_apl_comparison
 
-    return measured_apl_comparison("C1", fast=fast, workers=workers, engine=engine)
+    return measured_apl_comparison(
+        "C1", fast=fast, workers=workers, engine=engine, ledger=ledger, max_cells=max_cells
+    )
 
 
 EXPERIMENTS["scorecard"] = _scorecard

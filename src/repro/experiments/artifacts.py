@@ -4,6 +4,13 @@
 the archival equivalent — one ``<id>.txt`` (the rendered report) and one
 ``<id>.json`` (the JSON-safe slice of the raw data) per experiment, plus
 an index file, so reproduction outputs can be versioned and diffed.
+
+Crash safety: every artifact is written atomically (temp file + fsync +
+rename) with a ``.sha256`` sidecar, and experiments that support it run
+against a :class:`~repro.experiments.resilience.RunLedger` under
+``<output_dir>/.ledger/`` so an interrupted campaign resumes from its
+completed cells.  An artifact whose bytes no longer match its sidecar is
+quarantined to ``*.corrupt`` and recomputed.
 """
 
 from __future__ import annotations
@@ -12,33 +19,24 @@ import inspect
 import json
 from pathlib import Path
 
-import numpy as np
-
 from repro.experiments import EXPERIMENTS
-from repro.experiments.parallel import supports_workers
+from repro.experiments.parallel import supports_kwarg, supports_workers
+from repro.experiments.resilience import RunLedger, config_fingerprint, json_safe
 from repro.utils import profiling
+from repro.utils.atomicio import atomic_write_text, quarantine, verify_checksum
 
 __all__ = ["write_artifacts"]
 
+# Retained alias: the canonical implementation lives in resilience so the
+# ledger and the artifact writer agree on one JSON-safe encoding.
+_json_safe = json_safe
 
-def _json_safe(value):
-    """Best-effort conversion of report data to JSON-representable types."""
-    if isinstance(value, (bool, int, float, str, type(None))):
-        return value
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        v = float(value)
-        return None if np.isnan(v) else v
-    if isinstance(value, np.ndarray):
-        return [_json_safe(v) for v in value.tolist()]
-    if isinstance(value, dict):
-        return {str(k): _json_safe(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(v) for v in value]
-    if isinstance(value, float) and np.isnan(value):  # pragma: no cover
-        return None
-    return repr(value)
+
+def _write_artifact(path: Path, text: str) -> None:
+    """Atomically (re)write one artifact, quarantining a corrupted old copy."""
+    if verify_checksum(path) is False:
+        quarantine(path)
+    atomic_write_text(path, text, checksum=True)
 
 
 def write_artifacts(
@@ -48,6 +46,8 @@ def write_artifacts(
     fast: bool = False,
     workers: int = 1,
     engine: str = "fastpath",
+    resume: bool = True,
+    max_cells: int | None = None,
 ) -> dict[str, Path]:
     """Run the selected experiments and write their artifacts.
 
@@ -58,6 +58,14 @@ def write_artifacts(
     bytes are identical for any worker count or engine.  When
     the global profiler is enabled, each experiment's phase timings are
     written to ``<id>.profile.json`` alongside the artifact.
+
+    ``resume=True`` (the default) journals completed cells of
+    ledger-capable experiments under ``<output_dir>/.ledger/`` and
+    replays them on re-launch; ``resume=False`` ignores and overwrites
+    any existing journal.  ``max_cells`` deliberately stops each
+    ledger-capable experiment after that many freshly computed cells
+    (raising :class:`~repro.experiments.resilience.RunInterrupted`) — the
+    crash-drill knob used by the chaos tests and CI.
     """
     ids = list(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -75,13 +83,32 @@ def write_artifacts(
             kwargs["workers"] = workers
         if engine != "fastpath" and "engine" in inspect.signature(fn).parameters:
             kwargs["engine"] = engine
+        ledger = None
+        if supports_kwarg(fn, "ledger"):
+            ledger_path = output_dir / ".ledger" / f"{experiment_id}.jsonl"
+            if resume:
+                ledger = RunLedger(
+                    ledger_path,
+                    experiment=experiment_id,
+                    fingerprint=config_fingerprint(experiment_id, fast=fast, engine=engine),
+                )
+                kwargs["ledger"] = ledger
+            elif ledger_path.exists():
+                ledger_path.unlink()
+            if max_cells is not None and supports_kwarg(fn, "max_cells"):
+                kwargs["max_cells"] = max_cells
         if profiling.profiling_enabled():
             profiling.reset_profiling()
-        report = fn(**kwargs)
+        try:
+            report = fn(**kwargs)
+        finally:
+            if ledger is not None:
+                ledger.close()
         text_path = output_dir / f"{experiment_id}.txt"
-        text_path.write_text(str(report) + "\n")
+        _write_artifact(text_path, str(report) + "\n")
         json_path = output_dir / f"{experiment_id}.json"
-        json_path.write_text(
+        _write_artifact(
+            json_path,
             json.dumps(
                 {
                     "experiment_id": report.experiment_id,
@@ -93,14 +120,23 @@ def write_artifacts(
                 sort_keys=True,
                 default=repr,
             )
-            + "\n"
+            + "\n",
         )
+        if report.run_report is not None:
+            # Run accounting is deliberately a sidecar, not artifact data:
+            # it contains wall time, which must never leak into the
+            # byte-deterministic artifacts.
+            atomic_write_text(
+                output_dir / f"{experiment_id}.run.json",
+                json.dumps(report.run_report.as_dict(), indent=2, sort_keys=True) + "\n",
+            )
         if profiling.profiling_enabled():
-            (output_dir / f"{experiment_id}.profile.json").write_text(
+            atomic_write_text(
+                output_dir / f"{experiment_id}.profile.json",
                 json.dumps(profiling.profile_summary(), indent=2, sort_keys=True)
-                + "\n"
+                + "\n",
             )
         written[experiment_id] = text_path
         index.append(f"{experiment_id}: {report.title}")
-    (output_dir / "INDEX.txt").write_text("\n".join(index) + "\n")
+    _write_artifact(output_dir / "INDEX.txt", "\n".join(index) + "\n")
     return written

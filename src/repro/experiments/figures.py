@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
@@ -17,6 +19,7 @@ from repro.experiments.base import (
     standard_model,
 )
 from repro.experiments.parallel import parallel_map
+from repro.experiments.resilience import RunReport
 from repro.utils.text import format_table, grid_to_text, heatmap_to_text
 
 __all__ = ["fig3", "fig4", "fig5", "fig8", "fig9", "fig10"]
@@ -199,8 +202,40 @@ def _config_progress(total: int):
     return report
 
 
+def _config_sweeps(
+    fast: bool, workers: int, progress: bool, ledger, max_cells
+) -> tuple[list, RunReport]:
+    """The shared C1..C8 four-algorithm fan-out behind fig9 and fig10.
+
+    With a ledger attached, completed configurations are journaled as
+    they finish (keyed by config name) and resumed on re-launch, so an
+    interrupted sweep costs only its unfinished cells.
+    """
+    run_report = RunReport()
+    t0 = time.perf_counter()
+    try:
+        sweeps = parallel_map(
+            _algorithm_sweep_cell,
+            [(name, fast) for name in CONFIG_NAMES],
+            workers=workers,
+            ledger=ledger,
+            cell_keys=CONFIG_NAMES,
+            max_cells=max_cells,
+            report=run_report,
+            on_result=_config_progress(len(CONFIG_NAMES)) if progress else None,
+        )
+    finally:
+        run_report.wall_seconds = time.perf_counter() - t0
+    return sweeps, run_report
+
+
 def fig9(
-    *, fast: bool = False, workers: int = 1, progress: bool = False
+    *,
+    fast: bool = False,
+    workers: int = 1,
+    progress: bool = False,
+    ledger=None,
+    max_cells: int | None = None,
 ) -> ExperimentReport:
     """Figure 9: max-APL of the four algorithms across C1-C8.
 
@@ -208,13 +243,11 @@ def fig9(
     best or tied-best, ~10% below Global on average.  ``workers > 1``
     fans the eight configurations across processes with identical output;
     ``progress=True`` reports per-configuration completion on stderr.
+    ``ledger`` journals completed configurations for crash-safe resume
+    (see :mod:`repro.experiments.resilience`); resumed output is
+    byte-identical to an uninterrupted run's.
     """
-    sweeps = parallel_map(
-        _algorithm_sweep_cell,
-        [(name, fast) for name in CONFIG_NAMES],
-        workers=workers,
-        on_result=_config_progress(len(CONFIG_NAMES)) if progress else None,
-    )
+    sweeps, run_report = _config_sweeps(fast, workers, progress, ledger, max_cells)
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}
     for name, sweep in zip(CONFIG_NAMES, sweeps):
@@ -238,11 +271,18 @@ def fig9(
         "(paper: 8.74%, 9.44%, 10.42%)"
     )
     data["improvements"] = improvements
-    return ExperimentReport("fig9", "max-APL comparison", text, data)
+    return ExperimentReport(
+        "fig9", "max-APL comparison", text, data, run_report=run_report
+    )
 
 
 def fig10(
-    *, fast: bool = False, workers: int = 1, progress: bool = False
+    *,
+    fast: bool = False,
+    workers: int = 1,
+    progress: bool = False,
+    ledger=None,
+    max_cells: int | None = None,
 ) -> ExperimentReport:
     """Figure 10: g-APL of the four algorithms, normalised to Global.
 
@@ -250,14 +290,10 @@ def fig10(
     optimum); the three balancing algorithms pay only a few percent, SSS
     the least.  ``workers > 1`` fans the configurations across processes
     with identical output; ``progress=True`` reports per-configuration
-    completion on stderr.
+    completion on stderr.  ``ledger``/``max_cells`` give crash-safe
+    checkpoint/resume exactly as on :func:`fig9`.
     """
-    sweeps = parallel_map(
-        _algorithm_sweep_cell,
-        [(name, fast) for name in CONFIG_NAMES],
-        workers=workers,
-        on_result=_config_progress(len(CONFIG_NAMES)) if progress else None,
-    )
+    sweeps, run_report = _config_sweeps(fast, workers, progress, ledger, max_cells)
     per_alg: dict[str, list[float]] = {a: [] for a in ALGORITHM_ORDER}
     data = {}
     for name, sweep in zip(CONFIG_NAMES, sweeps):
@@ -280,4 +316,6 @@ def fig10(
         f"SSS {losses['SSS']:.2%} (paper: 5.35%, 4.82%, <3.82%)"
     )
     data["losses"] = losses
-    return ExperimentReport("fig10", "normalized g-APL", text, data)
+    return ExperimentReport(
+        "fig10", "normalized g-APL", text, data, run_report=run_report
+    )

@@ -8,9 +8,17 @@ replies), and reports per-application APLs measured from delivered
 packets.  Agreement between the analytic and measured columns — both in
 ordering and near-absolute cycles — is the strongest validation this
 reproduction offers.
+
+Cells return a JSON-safe *payload* (per-app APLs, max/dev, percentiles)
+rather than the raw :class:`~repro.noc.stats.LatencyStats`, so a
+:class:`~repro.experiments.resilience.RunLedger` can journal each
+replay as it completes and a re-launched run resumes from the journal
+with byte-identical output.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.experiments.base import (
     ExperimentReport,
@@ -18,6 +26,7 @@ from repro.experiments.base import (
     standard_instance,
 )
 from repro.experiments.parallel import parallel_map
+from repro.experiments.resilience import RunReport
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
 from repro.noc.traffic import MappedWorkloadTraffic
@@ -26,10 +35,22 @@ from repro.utils.text import format_table
 __all__ = ["measured_apl_comparison"]
 
 
-def _measure_cell(cell) -> LatencyStats:
+def _stats_payload(stats: LatencyStats) -> dict:
+    """JSON-safe slice of one replay's measurements (ledger-journalable)."""
+    return {
+        "apl_by_app": {str(app): apl for app, apl in stats.apl_by_app().items()},
+        "max_apl": stats.max_apl(),
+        "dev_apl": stats.dev_apl(),
+        "percentiles_by_app": {
+            str(app): p for app, p in stats.percentiles_by_app().items()
+        },
+    }
+
+
+def _measure_cell(cell) -> dict:
     """One per-algorithm NoC replay — the expensive, independent unit."""
     instance, mapping, cycles, seed = cell
-    return _measure(instance, mapping, cycles=cycles, seed=seed)
+    return _stats_payload(_measure(instance, mapping, cycles=cycles, seed=seed))
 
 
 def _traffic(instance, mapping, seed: int) -> MappedWorkloadTraffic:
@@ -53,7 +74,7 @@ def _measure(instance, mapping, *, cycles: int, seed: int) -> LatencyStats:
     return result.stats
 
 
-def _measure_batch(cells) -> list[LatencyStats]:
+def _measure_batch(cells) -> list[dict]:
     """A whole chunk of replays stepped together in one vector batch.
 
     Bit-identical to running :func:`_measure_cell` per cell (the vector
@@ -66,7 +87,7 @@ def _measure_batch(cells) -> list[LatencyStats]:
     traffics = [_traffic(inst, mapping, seed) for inst, mapping, _, seed in cells]
     warmup = max(500, cycles // 10)
     results = run_batch(instance.mesh, traffics, warmup=warmup, measure=cycles)
-    return [r.stats for r in results]
+    return [_stats_payload(r.stats) for r in results]
 
 
 def measured_apl_comparison(
@@ -77,6 +98,8 @@ def measured_apl_comparison(
     fast: bool = False,
     workers: int = 1,
     engine: str = "fastpath",
+    ledger=None,
+    max_cells: int | None = None,
 ) -> ExperimentReport:
     """Analytic vs measured per-application APLs for chosen algorithms.
 
@@ -87,38 +110,58 @@ def measured_apl_comparison(
     contiguously across workers and each chunk is stepped as one batched
     vector-engine run — still the same measured numbers, because the
     vector engine is bit-identical to the fast path.
+
+    ``ledger`` journals each completed replay (keyed by algorithm name)
+    for crash-safe resume; the batched vector path trades that
+    cell-granular journaling for throughput, so the ledger only applies
+    to the ``fastpath`` engine (a vector run simply recomputes).
     """
     if fast:
         cycles = min(cycles, 4_000)
+    run_report = RunReport()
+    t0 = time.perf_counter()
     instance = standard_instance(config_name)
     results = run_algorithms(
         instance, fast=fast, seed_tag=config_name, algorithms=algorithms
     )
     cells = [(instance, results[alg].mapping, cycles, 13) for alg in algorithms]
-    if engine == "vector":
-        k = -(-len(cells) // max(1, workers))  # ceil: contiguous chunks
-        chunks = [cells[i : i + k] for i in range(0, len(cells), k)]
-        all_stats = [
-            stats
-            for chunk in parallel_map(_measure_batch, chunks, workers=workers)
-            for stats in chunk
-        ]
-    else:
-        all_stats = parallel_map(_measure_cell, cells, workers=workers)
+    try:
+        if engine == "vector":
+            k = -(-len(cells) // max(1, workers))  # ceil: contiguous chunks
+            chunks = [cells[i : i + k] for i in range(0, len(cells), k)]
+            payloads = [
+                payload
+                for chunk in parallel_map(_measure_batch, chunks, workers=workers)
+                for payload in chunk
+            ]
+        else:
+            payloads = parallel_map(
+                _measure_cell,
+                cells,
+                workers=workers,
+                ledger=ledger,
+                cell_keys=list(algorithms),
+                max_cells=max_cells,
+                report=run_report,
+            )
+    finally:
+        run_report.wall_seconds = time.perf_counter() - t0
     rows = []
     data = {}
-    for alg, stats in zip(algorithms, all_stats):
-        measured = stats.apl_by_app()
+    for alg, payload in zip(algorithms, payloads):
+        measured = {int(app): apl for app, apl in payload["apl_by_app"].items()}
         analytic = results[alg].evaluation.apls
         for app, m_apl in sorted(measured.items()):
             rows.append([alg, f"app {app + 1}", float(analytic[app]), m_apl])
         data[alg] = {
             "analytic_max": results[alg].max_apl,
-            "measured_max": stats.max_apl(),
+            "measured_max": payload["max_apl"],
             "analytic_dev": results[alg].dev_apl,
-            "measured_dev": stats.dev_apl(),
+            "measured_dev": payload["dev_apl"],
             "measured_by_app": measured,
-            "measured_percentiles": stats.percentiles_by_app(),
+            "measured_percentiles": {
+                int(app): p for app, p in payload["percentiles_by_app"].items()
+            },
         }
     text = format_table(
         ["algorithm", "application", "analytic APL", "measured APL"],
@@ -137,5 +180,9 @@ def measured_apl_comparison(
         float_fmt="{:.3f}",
     )
     return ExperimentReport(
-        "measured", f"measured APLs on {config_name}", text, data
+        "measured",
+        f"measured APLs on {config_name}",
+        text,
+        data,
+        run_report=run_report,
     )

@@ -1,4 +1,4 @@
-"""Deterministic fan-out of experiment cells across worker processes.
+"""Deterministic, crash-safe fan-out of experiment cells across processes.
 
 The figure/table harnesses are embarrassingly parallel at the *cell*
 level: one (workload config x algorithm-sweep) per C1..C8 name, one
@@ -20,34 +20,61 @@ no processes, no pickling — which keeps the serial path the reference
 implementation.  Cell functions must be module-level (picklable) when
 ``workers > 1``.
 
-Long campaigns additionally get *bounded* failure handling: a per-task
-``timeout`` (seconds) and a ``retries`` budget.  A cell that times out or
-raises is resubmitted up to ``retries`` times; a worker crash
-(``BrokenProcessPool``) replaces the executor and resubmits every
-unfinished cell.  Retry semantics are safe precisely because of the
-determinism contract above — re-running a cell yields the same value, so
-a retry can only turn a transient failure into the correct result, never
-a different one.
+Long campaigns additionally get *supervised* failure handling:
+
+* a per-task ``timeout`` (seconds) and a ``retries`` budget per cell,
+  with capped exponential backoff and seeded jitter between attempts
+  (:func:`~repro.experiments.resilience.backoff_delays`);
+* a run-wide ``failure_budget`` that aborts a campaign drowning in
+  failures instead of retrying forever;
+* automatic pool replacement after a worker crash or timeout
+  (``BrokenProcessPool`` / ``TimeoutError``), degrading to in-process
+  serial execution once :data:`MAX_POOL_REPLACEMENTS` pools have died —
+  a hostile machine slows a run down but does not kill it;
+* optional journaling through a
+  :class:`~repro.experiments.resilience.RunLedger`: each completed
+  cell's result is fsynced to an append-only JSONL file, and a
+  re-launched run replays finished cells instead of recomputing them.
+
+Retry and resume semantics are safe precisely because of the determinism
+contract above — re-running a cell yields the same value, so a retry or
+a ledger replay can only turn a transient failure into the correct
+result, never a different one.
 """
 
 from __future__ import annotations
 
 import inspect
 import os
+import time
+from collections import defaultdict
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.experiments.resilience import (
+    FailureBudgetExceeded,
+    RunInterrupted,
+    RunReport,
+    backoff_delays,
+    resolve_backoff,
+)
 from repro.utils import profiling
 from repro.utils.rng import stable_seed
 
 __all__ = [
     "CellFailure",
+    "MAX_POOL_REPLACEMENTS",
     "parallel_map",
     "cell_seeds",
     "resolve_workers",
+    "supports_kwarg",
     "supports_workers",
 ]
+
+#: Pool replacements tolerated in one ``parallel_map`` call before the
+#: remaining cells run serially in the parent process instead.
+MAX_POOL_REPLACEMENTS = 3
 
 
 class _ProfiledCell:
@@ -106,6 +133,15 @@ def _resolve_retries(retries: int | None) -> int:
     return retries
 
 
+def _resolve_failure_budget(budget: int | None) -> int | None:
+    if budget is None:
+        raw = os.environ.get("REPRO_FAILURE_BUDGET", "")
+        budget = int(raw) if raw else None
+    if budget is not None and budget < 0:
+        raise ValueError(f"failure_budget must be >= 0, got {budget}")
+    return budget
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Normalise a ``workers`` knob to a positive process count.
 
@@ -130,6 +166,13 @@ def parallel_map(
     retries: int | None = None,
     on_failure: str = "raise",
     on_result: Callable[[int, object], None] | None = None,
+    backoff: float | tuple[float, float] | None = None,
+    failure_budget: int | None = None,
+    ledger=None,
+    cell_keys: Sequence | None = None,
+    max_cells: int | None = None,
+    report: RunReport | None = None,
+    sleep: Callable[[float], None] | None = None,
 ) -> list:
     """``[fn(cell) for cell in cells]``, optionally across processes.
 
@@ -149,14 +192,39 @@ def parallel_map(
       process pool can enforce this — the serial path ignores ``timeout``
       (nothing can preempt an in-process call).
     * ``retries`` — extra attempts per cell after its first failure
-      (default 0; env fallback ``REPRO_TASK_RETRIES``).
+      (default 0; env fallback ``REPRO_TASK_RETRIES``).  Between attempts
+      the run sleeps a capped exponential ``backoff`` with seeded jitter
+      (``(base, cap)`` seconds or a bare base; env fallback
+      ``REPRO_RETRY_BACKOFF="base[:cap]"``, ``"0"`` disables).  ``sleep``
+      is injectable for fake-clock tests.
+    * ``failure_budget`` — run-wide cap on *total* failed attempts across
+      all cells (env fallback ``REPRO_FAILURE_BUDGET``); exceeding it
+      raises :class:`~repro.experiments.resilience.FailureBudgetExceeded`
+      immediately rather than grinding through a doomed campaign.
     * ``on_failure`` — ``"raise"`` (default) raises :class:`CellFailure`
       once a cell exhausts its budget; ``"none"`` records ``None`` for
       that cell and keeps going.
 
     A worker crash (:class:`BrokenProcessPool`) also replaces the
     executor and resubmits unfinished cells, charging an attempt only to
-    the cell whose collection observed the crash.
+    the cell whose collection observed the crash.  After
+    :data:`MAX_POOL_REPLACEMENTS` replacements in one call, the remaining
+    cells run serially in the parent process (``report.degraded_serial``).
+
+    Checkpoint/resume:
+
+    * ``ledger`` — a :class:`~repro.experiments.resilience.RunLedger`;
+      requires ``cell_keys`` (one unique string per cell).  Cells already
+      journaled are *resumed* (their recorded result is returned without
+      recomputation); freshly computed cells are journaled as they
+      complete.  With a ledger active, every result — fresh or resumed —
+      is the canonical JSON round-trip of the cell's return value, so
+      resumed runs are byte-identical to uninterrupted ones.
+    * ``max_cells`` — compute at most this many *fresh* cells, then raise
+      :class:`~repro.experiments.resilience.RunInterrupted` (a deliberate
+      partial run; everything computed is already in the ledger).
+    * ``report`` — a :class:`~repro.experiments.resilience.RunReport` to
+      accumulate cell/retry/degradation accounting into.
 
     ``on_result(index, result)`` is invoked once per cell, in input
     order, as results become available — the hook the figure harnesses
@@ -173,80 +241,135 @@ def parallel_map(
     workers = resolve_workers(workers)
     timeout = _resolve_timeout(timeout)
     retries = _resolve_retries(retries)
+    backoff = resolve_backoff(backoff)
+    failure_budget = _resolve_failure_budget(failure_budget)
+    if sleep is None:
+        sleep = time.sleep
     if on_failure not in ("raise", "none"):
         raise ValueError(f"on_failure must be 'raise' or 'none', got {on_failure!r}")
-    if workers <= 1 or len(cells) <= 1:
-        results = []
-        for index, cell in enumerate(cells):
-            for attempt in range(1, retries + 2):
-                try:
-                    results.append(fn(cell))
-                    break
-                except Exception as exc:
-                    if attempt <= retries:
-                        continue
-                    if on_failure == "none":
-                        results.append(None)
-                        break
-                    raise CellFailure(index, cell, attempt, exc) from exc
-            if on_result is not None:
-                on_result(index, results[-1])
-        return results
-    if not profiling.profiling_enabled():
-        return _parallel_run(
-            fn, cells, min(workers, len(cells)), timeout, retries, on_failure, on_result
-        )
-    inner_on_result = None
-    if on_result is not None:
-        inner_on_result = lambda i, pair: on_result(i, pair[0] if pair else None)
-    pairs = _parallel_run(
-        _ProfiledCell(fn),
-        cells,
-        min(workers, len(cells)),
-        timeout,
-        retries,
-        on_failure,
-        inner_on_result,
-    )
-    results = []
-    for pair in pairs:
-        if pair is None:  # failed cell under on_failure="none"
-            results.append(None)
-            continue
-        value, summary = pair
-        profiling.PROFILER.merge(summary)
-        results.append(value)
-    return results
+    keys: list[str] | None = None
+    if ledger is not None:
+        if cell_keys is None:
+            raise ValueError("ledger requires cell_keys (one stable key per cell)")
+        keys = [str(k) for k in cell_keys]
+        if len(keys) != len(cells):
+            raise ValueError(
+                f"cell_keys has {len(keys)} entries for {len(cells)} cells"
+            )
+        if len(set(keys)) != len(keys):
+            raise ValueError("cell_keys must be unique")
+    if max_cells is not None and max_cells < 0:
+        raise ValueError(f"max_cells must be >= 0, got {max_cells}")
+    if report is None:
+        report = RunReport()
+    report.cells_total += len(cells)
 
-
-def _parallel_run(
-    fn: Callable,
-    cells: list,
-    max_workers: int,
-    timeout: float | None,
-    retries: int,
-    on_failure: str,
-    on_result: Callable[[int, object], None] | None = None,
-) -> list:
-    results: list = [None] * len(cells)
-    done = [False] * len(cells)
-    attempts = [0] * len(cells)
+    n = len(cells)
+    results: list = [None] * n
+    done = [False] * n
+    attempts: dict[int, int] = defaultdict(int)
+    budget_spent = 0
     reported = 0
+    summaries: dict[int, dict] = {}
 
     def report_ready() -> None:
         # Fire on_result for the longest done prefix, keeping the callback
-        # in input order even when salvage completes cells out of order.
+        # in input order even when cells complete out of order.
         nonlocal reported
-        while reported < len(cells) and done[reported]:
+        while reported < n and done[reported]:
             if on_result is not None:
                 on_result(reported, results[reported])
             reported += 1
 
-    executor = ProcessPoolExecutor(max_workers=max_workers)
-    try:
-        futures = {i: executor.submit(fn, cells[i]) for i in range(len(cells))}
+    def charge(index: int, exc: BaseException) -> bool:
+        """Account one failed attempt; True when the cell should retry."""
+        nonlocal budget_spent
+        attempts[index] += 1
+        budget_spent += 1
+        report.record_failure(exc)
+        if failure_budget is not None and budget_spent > failure_budget:
+            raise FailureBudgetExceeded(
+                failure_budget, list(report.failure_causes)
+            ) from exc
+        if attempts[index] <= retries:
+            report.retries += 1
+            delay = backoff_delays(index, attempts[index], backoff)
+            if delay > 0:
+                report.backoff_seconds += delay
+                sleep(delay)
+            return True
+        if on_failure == "raise":
+            raise CellFailure(index, cells[index], attempts[index], exc) from exc
+        report.cells_failed += 1
+        return False
+
+    def complete(index: int, value):
+        """Journal a freshly computed value; returns its canonical form."""
+        report.cells_computed += 1
+        if ledger is not None:
+            return ledger.record(keys[index], value)
+        return value
+
+    # Resume finished cells from the ledger before any dispatch.
+    for i in range(n):
+        if ledger is not None and keys[i] in ledger:
+            results[i] = ledger.get(keys[i])
+            done[i] = True
+            report.cells_resumed += 1
+
+    run_idx = [i for i in range(n) if not done[i]]
+    deferred = 0
+    if max_cells is not None and len(run_idx) > max_cells:
+        deferred = len(run_idx) - max_cells
+        run_idx = run_idx[:max_cells]
+
+    use_pool = workers > 1 and len(run_idx) > 1
+    wrapped = use_pool and profiling.profiling_enabled()
+    pooled_fn = _ProfiledCell(fn) if wrapped else fn
+
+    def store(index: int, raw):
+        if wrapped:
+            value, summary = raw
+            summaries[index] = summary
+        else:
+            value = raw
+        return complete(index, value)
+
+    def run_serial(index: int) -> None:
+        """Reference in-process execution of one cell (also the degraded path)."""
         while True:
-            pending = [i for i in range(len(cells)) if not done[i]]
+            try:
+                value = fn(cells[index])
+            except Exception as exc:
+                if charge(index, exc):
+                    continue
+                done[index] = True  # on_failure="none": keep the None
+                break
+            results[index] = complete(index, value)
+            done[index] = True
+            break
+        report_ready()
+
+    def finish() -> list:
+        report_ready()
+        for index in sorted(summaries):
+            profiling.PROFILER.merge(summaries[index])
+        if deferred:
+            raise RunInterrupted(sum(done), n)
+        return results
+
+    if not use_pool:
+        for i in run_idx:
+            run_serial(i)
+        return finish()
+
+    replacements = 0
+    degraded = False
+    executor = ProcessPoolExecutor(max_workers=min(workers, len(run_idx)))
+    try:
+        futures = {i: executor.submit(pooled_fn, cells[i]) for i in run_idx}
+        while not degraded:
+            pending = [i for i in run_idx if not done[i]]
             if not pending:
                 break
             replace_pool = False
@@ -254,7 +377,7 @@ def _parallel_run(
                 if done[i]:  # salvaged during a pool replacement below
                     continue
                 try:
-                    results[i] = futures[i].result(timeout=timeout)
+                    results[i] = store(i, futures[i].result(timeout=timeout))
                     done[i] = True
                     report_ready()
                     continue
@@ -263,36 +386,51 @@ def _parallel_run(
                     replace_pool = True  # wedged/dead worker: pool is unusable
                 except Exception as exc:
                     failure = exc  # the cell itself raised; pool is fine
-                attempts[i] += 1
-                if attempts[i] > retries:
-                    done[i] = True
-                    if on_failure == "raise":
-                        raise CellFailure(i, cells[i], attempts[i], failure) from failure
-                    report_ready()
-                elif not replace_pool:
-                    futures[i] = executor.submit(fn, cells[i])
                 if replace_pool:
-                    # Salvage everything that already finished, then restart
-                    # the pool and resubmit the rest from the outer loop.
-                    for j in range(len(cells)):
+                    # Salvage everything that already finished *before*
+                    # charging the failure: charging can abort the run
+                    # (no retries left, budget spent), and delivered
+                    # results must reach the ledger first.
+                    for j in run_idx:
                         if not done[j] and j != i and futures[j].done():
                             try:
-                                results[j] = futures[j].result()
+                                results[j] = store(j, futures[j].result())
                                 done[j] = True
                             except Exception:
                                 pass  # retried on the fresh pool
                     report_ready()
+                retry = charge(i, failure)
+                if not retry:
+                    done[i] = True
+                    report_ready()
+                elif not replace_pool:
+                    futures[i] = executor.submit(pooled_fn, cells[i])
+                if replace_pool:
                     executor.shutdown(wait=False, cancel_futures=True)
-                    executor = ProcessPoolExecutor(max_workers=max_workers)
+                    replacements += 1
+                    report.pool_replacements += 1
+                    if replacements > MAX_POOL_REPLACEMENTS:
+                        # The machine keeps eating pools; stop feeding it
+                        # and finish the campaign in-process.
+                        degraded = True
+                        report.degraded_serial = True
+                        break
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(workers, len(run_idx))
+                    )
                     futures = {
-                        j: executor.submit(fn, cells[j])
-                        for j in range(len(cells))
+                        j: executor.submit(pooled_fn, cells[j])
+                        for j in run_idx
                         if not done[j]
                     }
                     break  # restart collection over the new futures
+        if degraded:
+            for i in run_idx:
+                if not done[i]:
+                    run_serial(i)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
-    return results
+    return finish()
 
 
 def cell_seeds(tag: str, labels: Sequence) -> list[int]:
@@ -305,15 +443,21 @@ def cell_seeds(tag: str, labels: Sequence) -> list[int]:
     return [stable_seed(tag, str(label)) for label in labels]
 
 
-def supports_workers(fn: Callable) -> bool:
-    """Does ``fn`` declare an explicit ``workers`` keyword?
+def supports_kwarg(fn: Callable, name: str) -> bool:
+    """Does ``fn`` declare an explicit keyword argument ``name``?
 
-    Used by the artifact writer and CLI to forward ``--workers`` only to
-    experiments that actually fan out (``**kwargs`` catch-alls do not
-    count — they ignore the knob).
+    Used by the artifact writer and CLI to forward knobs (``workers``,
+    ``ledger``, ``max_cells``, ``engine``) only to experiments that
+    actually honour them (``**kwargs`` catch-alls do not count — they
+    ignore the knob).
     """
     try:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # builtins, partials without signature
         return False
-    return "workers" in params
+    return name in params
+
+
+def supports_workers(fn: Callable) -> bool:
+    """Does ``fn`` declare an explicit ``workers`` keyword?"""
+    return supports_kwarg(fn, "workers")

@@ -119,9 +119,11 @@ def _check_kind(data: dict[str, Any], expected: str) -> None:
 
 
 def save_json(obj: dict[str, Any], path: str | Path) -> Path:
-    """Write a serialised document to ``path`` (pretty-printed)."""
+    """Write a serialised document to ``path`` (pretty-printed, atomic)."""
+    from repro.utils.atomicio import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
     return path
 
 

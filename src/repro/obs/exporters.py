@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.utils.atomicio import atomic_open, atomic_write_text
+
 __all__ = [
     "write_trace_jsonl",
     "write_chrome_trace",
@@ -35,9 +37,13 @@ def _dumps(obj) -> str:
 
 
 def write_trace_jsonl(tracer, path: str | Path) -> Path:
-    """Write a tracer's buffered events as JSONL (header, events, footer)."""
+    """Write a tracer's buffered events as JSONL (header, events, footer).
+
+    The write is atomic: a crash mid-export never leaves a truncated
+    trace at ``path`` (readers see either the old file or the new one).
+    """
     path = Path(path)
-    with path.open("w") as fh:
+    with atomic_open(path) as fh:
         fh.write(_dumps(tracer.header()) + "\n")
         for event in tracer.events():
             fh.write(_dumps(event) + "\n")
@@ -213,7 +219,7 @@ def write_chrome_trace(header: dict, events, path: str | Path) -> Path:
         "displayTimeUnit": "ms",
         "otherData": dict(header),
     }
-    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(document, sort_keys=True) + "\n")
     return path
 
 
@@ -278,7 +284,7 @@ def render_prometheus(registry) -> str:
 
 def write_prometheus(registry, path: str | Path) -> Path:
     path = Path(path)
-    path.write_text(render_prometheus(registry))
+    atomic_write_text(path, render_prometheus(registry))
     return path
 
 
@@ -297,5 +303,5 @@ def write_timeseries_csv(sampler, path: str | Path) -> Path:
                 str(v) if isinstance(v, int) else f"{v:.6g}" for v in row
             )
         )
-    path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path

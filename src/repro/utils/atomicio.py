@@ -1,0 +1,133 @@
+"""Crash-safe file IO: atomic replace writes, checksums, quarantine.
+
+Artifact files must never be observable in a half-written state — a
+``KeyboardInterrupt`` or ``SIGKILL`` in the middle of ``write_text``
+leaves a truncated file that parses as garbage (or worse, parses as
+*valid* garbage).  Every writer here follows the classic recipe: write
+to a temporary file in the same directory, flush + ``fsync``, then
+``os.replace`` onto the destination.  ``os.replace`` is atomic on POSIX
+and Windows, so readers only ever see the old bytes or the new bytes.
+
+Companions:
+
+* :func:`write_checksum` / :func:`verify_checksum` — a ``<name>.sha256``
+  sidecar in ``sha256sum -c`` format, so artifact integrity can be
+  checked both in-process and from the shell.
+* :func:`quarantine` — rename a corrupted file (and its sidecar) to
+  ``<name>.corrupt`` so a re-run recomputes it instead of crashing on,
+  or silently trusting, damaged bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "quarantine",
+    "sha256_of",
+    "verify_checksum",
+    "write_checksum",
+]
+
+
+@contextmanager
+def atomic_open(path: str | Path, mode: str = "w"):
+    """Open a temp file that atomically replaces ``path`` on clean exit.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the final ``os.replace`` is a rename, not a copy) and is fsynced
+    before the rename.  If the body raises, the temp file is removed and
+    ``path`` is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str, *, checksum: bool = False) -> Path:
+    """Atomically write ``text`` to ``path``; optionally add a sha256 sidecar."""
+    path = Path(path)
+    with atomic_open(path) as fh:
+        fh.write(text)
+    if checksum:
+        write_checksum(path)
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, checksum: bool = False) -> Path:
+    """Atomically write ``data`` to ``path``; optionally add a sha256 sidecar."""
+    path = Path(path)
+    with atomic_open(path, "wb") as fh:
+        fh.write(data)
+    if checksum:
+        write_checksum(path)
+    return path
+
+
+def sha256_of(path: str | Path) -> str:
+    """Hex sha256 digest of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def checksum_path(path: str | Path) -> Path:
+    path = Path(path)
+    return path.with_name(path.name + ".sha256")
+
+
+def write_checksum(path: str | Path) -> Path:
+    """Write the ``<name>.sha256`` sidecar (``sha256sum -c`` compatible)."""
+    path = Path(path)
+    sidecar = checksum_path(path)
+    atomic_write_text(sidecar, f"{sha256_of(path)}  {path.name}\n")
+    return sidecar
+
+
+def verify_checksum(path: str | Path) -> bool | None:
+    """Check a file against its sidecar.
+
+    Returns ``True`` on match, ``False`` on mismatch (corruption), and
+    ``None`` when there is no sidecar (or no file) to check against.
+    """
+    path = Path(path)
+    sidecar = checksum_path(path)
+    if not path.exists() or not sidecar.exists():
+        return None
+    recorded = sidecar.read_text().split()
+    if not recorded:
+        return False
+    return recorded[0] == sha256_of(path)
+
+
+def quarantine(path: str | Path) -> Path:
+    """Rename a damaged file to ``<name>.corrupt`` (sidecar travels along).
+
+    An existing quarantine of the same name is overwritten — the newest
+    corruption is the interesting one.  Returns the quarantine path.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    os.replace(path, target)
+    sidecar = checksum_path(path)
+    if sidecar.exists():
+        os.replace(sidecar, target.with_name(target.name + ".sha256"))
+    return target

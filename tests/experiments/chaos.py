@@ -1,0 +1,115 @@
+"""Chaos-engineering helpers for the resilience tests (not a test module).
+
+The hard part of testing crash safety is that monkeypatches do not
+travel into ``ProcessPoolExecutor`` workers — the worker imports this
+module fresh and runs the *real* code.  So the chaos cells coordinate
+through marker files instead: a test arms a marker under a temp dir, and
+the module-level (hence picklable) cell functions check for it inside
+the worker.
+
+* :func:`chaos_sweep_cell` — a drop-in for
+  :func:`repro.experiments.figures._algorithm_sweep_cell` that SIGKILLs
+  its own worker process when the kill marker is armed (one-shot: the
+  marker is consumed first, so retries/resumes run the real cell).
+* :func:`wedge_sweep_cell` — same, but wedges (sleeps far beyond any
+  test timeout) instead of dying, to exercise the timeout path.
+* :func:`crash_in_worker` — dies only when *not* in the given parent
+  pid, for driving pool replacement past the degradation threshold
+  without ever killing the test process itself.
+* File-corruption helpers (:func:`flip_tail_byte`,
+  :func:`truncate_fraction`) for checksum/ledger-healing tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.experiments.figures import _algorithm_sweep_cell
+
+KILL_MARKER = "kill.marker"
+WEDGE_MARKER = "wedge.marker"
+
+
+def arm_kill(chaos_dir: str | Path, cell_name: str) -> Path:
+    """Arm a one-shot SIGKILL for the named cell under ``chaos_dir``."""
+    marker = Path(chaos_dir) / f"{KILL_MARKER}.{cell_name}"
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text("armed\n")
+    return marker
+
+
+def arm_wedge(chaos_dir: str | Path, cell_name: str) -> Path:
+    """Arm a one-shot wedge (long sleep) for the named cell."""
+    marker = Path(chaos_dir) / f"{WEDGE_MARKER}.{cell_name}"
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text("armed\n")
+    return marker
+
+
+def _consume(marker: Path) -> bool:
+    """Atomically claim a one-shot marker (False if already consumed)."""
+    try:
+        marker.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def chaos_sweep_cell(cell):
+    """``_algorithm_sweep_cell`` that SIGKILLs its worker when armed.
+
+    ``cell`` is ``(config_name, fast, chaos_dir)``.  SIGKILL (not
+    ``sys.exit``) so the worker gets no chance to flush or clean up —
+    the most hostile crash a process can suffer.  The kill lands half a
+    second into the cell: a pool break discards any results still queued
+    for delivery, so an instant death could erase cells that *finished*
+    before it — a real crash happens mid-work, not at dispatch.
+    """
+    name, fast, chaos_dir = cell
+    if _consume(Path(chaos_dir) / f"{KILL_MARKER}.{name}"):
+        time.sleep(0.5)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _algorithm_sweep_cell((name, fast))
+
+
+def wedge_sweep_cell(cell):
+    """``_algorithm_sweep_cell`` that wedges (sleeps 60s) when armed."""
+    name, fast, chaos_dir = cell
+    if _consume(Path(chaos_dir) / f"{WEDGE_MARKER}.{name}"):
+        time.sleep(60)
+    return _algorithm_sweep_cell((name, fast))
+
+
+def crash_in_worker(cell):
+    """Die instantly — but only inside a pool worker, never the parent.
+
+    ``cell`` is ``(x, parent_pid)``; returns ``x * 3`` when run in the
+    parent (the degraded-serial reference), ``os._exit(13)`` otherwise.
+    Drives ``parallel_map`` past MAX_POOL_REPLACEMENTS without risking
+    the test process.
+    """
+    x, parent_pid = cell
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return x * 3
+
+
+def flip_tail_byte(path: str | Path) -> None:
+    """Corrupt a file in place by flipping its last byte."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def truncate_fraction(path: str | Path, fraction: float = 0.5) -> None:
+    """Truncate a file to the given fraction of its size (torn write)."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(int(size * fraction))

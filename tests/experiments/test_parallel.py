@@ -22,11 +22,21 @@ from repro.core.workload import Application, Workload
 from repro.experiments.artifacts import write_artifacts
 from repro.experiments.figures import fig9
 from repro.experiments.parallel import (
+    MAX_POOL_REPLACEMENTS,
     CellFailure,
     cell_seeds,
     parallel_map,
     resolve_workers,
+    supports_kwarg,
     supports_workers,
+)
+from repro.experiments.resilience import (
+    FailureBudgetExceeded,
+    RunInterrupted,
+    RunLedger,
+    RunReport,
+    backoff_delays,
+    resolve_backoff,
 )
 
 
@@ -48,6 +58,10 @@ def _wedge_on_two(x: int) -> int:
 
 def _crash_on_one(x: int) -> int:
     if x == 1:
+        # Let the healthy worker drain the other cells first: a pool
+        # crash marks every in-flight future broken, so dying instantly
+        # races against innocent cells' results reaching the parent.
+        time.sleep(0.3)
         os._exit(13)  # hard worker death -> BrokenProcessPool upstream
     return x
 
@@ -289,6 +303,181 @@ class TestWorkerProfiling:
         summary = parent.summary()
         assert summary["a"] == {"seconds": 3.0, "calls": 4}
         assert summary["b"] == {"seconds": 0.5, "calls": 1}
+
+
+def _always_fail(x: int) -> int:
+    raise RuntimeError(f"cell {x} is doomed")
+
+
+def _crash_unless_parent(cell):
+    # (x, parent_pid): dies in any pool worker, succeeds in the parent —
+    # the degraded-serial path is the only way this ever completes.
+    x, parent_pid = cell
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return x * 3
+
+
+class TestBackoff:
+    def test_fake_clock_records_deterministic_delays(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return x
+
+        report = RunReport()
+        out = parallel_map(
+            flaky, [9], workers=1, retries=5,
+            backoff=(1.0, 4.0), sleep=sleeps.append, report=report,
+        )
+        assert out == [9]
+        # Attempt 1 waits base*jitter in [0.5, 1.0); attempt 2 doubles.
+        assert len(sleeps) == 2
+        assert 0.5 <= sleeps[0] < 1.0
+        assert 1.0 <= sleeps[1] < 2.0
+        assert report.retries == 2
+        assert report.backoff_seconds == pytest.approx(sum(sleeps))
+        # Seeded jitter: the same (cell, attempt) always waits the same.
+        rerun: list[float] = []
+        calls["n"] = 0
+        parallel_map(
+            flaky, [9], workers=1, retries=5, backoff=(1.0, 4.0), sleep=rerun.append
+        )
+        assert rerun == sleeps
+
+    def test_delays_cap_and_disable(self):
+        for attempt in range(1, 12):
+            assert backoff_delays(0, attempt, (0.1, 2.0)) <= 2.0
+        assert backoff_delays(0, 5, (0.0, 2.0)) == 0.0
+        assert backoff_delays(3, 1, (1.0, 8.0)) != backoff_delays(4, 1, (1.0, 8.0))
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.5:8")
+        assert resolve_backoff(None) == (0.5, 8.0)
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        assert resolve_backoff(None)[0] == 0.0
+        sleeps: list[float] = []
+        parallel_map(
+            _fail_on_three, [3], workers=1, retries=2,
+            on_failure="none", sleep=sleeps.append,
+        )
+        assert sleeps == []  # disabled: retries happen but never sleep
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "junk")
+        with pytest.raises(ValueError):
+            resolve_backoff(None)
+        with pytest.raises(ValueError):
+            resolve_backoff((2.0, 1.0))  # cap below base
+
+
+class TestSupervision:
+    def test_failure_budget_aborts_run(self):
+        with pytest.raises(FailureBudgetExceeded) as excinfo:
+            parallel_map(
+                _always_fail, [1, 2, 3], workers=1, retries=2,
+                on_failure="none", failure_budget=4, backoff=0,
+            )
+        assert excinfo.value.budget == 4
+        assert excinfo.value.causes  # carries the recent causes
+
+    def test_failure_budget_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAILURE_BUDGET", "1")
+        with pytest.raises(FailureBudgetExceeded):
+            parallel_map(
+                _always_fail, [1, 2], workers=1, retries=3,
+                on_failure="none", backoff=0,
+            )
+
+    def test_degrades_to_serial_after_pool_replacements(self):
+        cells = [(i, os.getpid()) for i in range(6)]
+        report = RunReport()
+        out = parallel_map(
+            _crash_unless_parent, cells, workers=2, timeout=30,
+            retries=2 * MAX_POOL_REPLACEMENTS + 6, backoff=0, report=report,
+        )
+        assert out == [i * 3 for i in range(6)]
+        assert report.degraded_serial
+        assert report.pool_replacements > MAX_POOL_REPLACEMENTS
+
+    def test_report_accounts_cells(self):
+        report = RunReport()
+        parallel_map(_square, [1, 2, 3], workers=1, report=report)
+        assert report.cells_total == 3
+        assert report.cells_computed == 3
+        assert report.cells_resumed == 0
+        assert "3/3 cells computed" in report.summary()
+
+    def test_supports_kwarg_detection(self):
+        assert supports_kwarg(fig9, "ledger")
+        assert supports_kwarg(fig9, "max_cells")
+        assert not supports_kwarg(_square, "ledger")
+        assert not supports_kwarg(lambda **kw: None, "ledger")
+
+
+class TestLedgerResume:
+    def _ledger(self, tmp_path, **kw):
+        kw.setdefault("experiment", "t")
+        kw.setdefault("fingerprint", "abc123")
+        return RunLedger(tmp_path / "t.jsonl", **kw)
+
+    def test_second_run_resumes_without_recompute(self, tmp_path):
+        with self._ledger(tmp_path) as ledger:
+            first = parallel_map(
+                _square, [2, 3], workers=1, ledger=ledger, cell_keys=["a", "b"]
+            )
+        assert first == [4, 9]
+        report = RunReport()
+        with self._ledger(tmp_path) as ledger:
+            second = parallel_map(
+                _always_fail,  # would raise if any cell actually ran
+                [2, 3],
+                workers=1,
+                ledger=ledger,
+                cell_keys=["a", "b"],
+                report=report,
+            )
+        assert second == first
+        assert report.cells_resumed == 2
+        assert report.cells_computed == 0
+
+    def test_max_cells_interrupts_and_journals(self, tmp_path):
+        with self._ledger(tmp_path) as ledger:
+            with pytest.raises(RunInterrupted) as excinfo:
+                parallel_map(
+                    _square, [1, 2, 3, 4], workers=1,
+                    ledger=ledger, cell_keys=list("wxyz"), max_cells=2,
+                )
+        assert excinfo.value.completed == 2
+        assert excinfo.value.total == 4
+        with self._ledger(tmp_path) as ledger:
+            assert len(ledger) == 2
+            out = parallel_map(
+                _square, [1, 2, 3, 4], workers=1, ledger=ledger, cell_keys=list("wxyz")
+            )
+        assert out == [1, 4, 9, 16]
+
+    def test_ledger_requires_sane_keys(self, tmp_path):
+        with self._ledger(tmp_path) as ledger:
+            with pytest.raises(ValueError):
+                parallel_map(_square, [1, 2], ledger=ledger)
+            with pytest.raises(ValueError):
+                parallel_map(_square, [1, 2], ledger=ledger, cell_keys=["a"])
+            with pytest.raises(ValueError):
+                parallel_map(_square, [1, 2], ledger=ledger, cell_keys=["a", "a"])
+
+    def test_parallel_run_journals_like_serial(self, tmp_path):
+        cells = list(range(6))
+        keys = [f"k{i}" for i in cells]
+        with RunLedger(tmp_path / "p.jsonl", experiment="t", fingerprint="f") as led:
+            parallel_map(_square, cells, workers=3, ledger=led, cell_keys=keys)
+        with RunLedger(tmp_path / "s.jsonl", experiment="t", fingerprint="f") as led:
+            parallel_map(_square, cells, workers=1, ledger=led, cell_keys=keys)
+        # Same entries either way (order may differ: pool completion order).
+        read = lambda p: sorted((p.read_text()).splitlines()[1:])
+        assert read(tmp_path / "p.jsonl") == read(tmp_path / "s.jsonl")
 
 
 class TestHarnessDeterminism:
