@@ -8,6 +8,12 @@ quantity regresses more than the tolerance against ``BENCH_perf.json``.
 Guarded quantities and directions:
 
 * ``vector_engine.single_sim.speedup``   -- must not DROP >30%
+* ``vector_engine.soa_batch.per_sim_speedup.batch_32``
+                                         -- must not DROP >30%
+* ``vector_engine.jit.per_sim_speedup.batch_32``
+                                         -- must not DROP >30% (checked
+  only where numba is importable; otherwise reported as a skip -- the
+  fallback is the already-guarded pure-NumPy path)
 * ``obs_overhead...overhead_ratio``      -- must not RISE >30%
 * ``engine...fastpath_seconds``          -- must not RISE >60% (seconds
   get a wider default tolerance than ratios: absolute wall-clock varies
@@ -64,8 +70,8 @@ def _scenario():
     instance = standard_instance("C1")
     mapping = sort_select_swap(instance).mapping
 
-    def make():
-        return MappedWorkloadTraffic(instance, mapping, generate_replies=True, seed=13)
+    def make(seed=13):
+        return MappedWorkloadTraffic(instance, mapping, generate_replies=True, seed=seed)
 
     return instance.mesh, make
 
@@ -79,10 +85,15 @@ def _signature(res):
     )
 
 
+#: Batch size of the guarded SoA/JIT throughput quantity.
+BATCH = 32
+
+
 def measure(rounds: int) -> dict:
     """Interleaved best-of-N timings for all guarded quantities."""
+    from repro.noc.jit_kernels import HAVE_NUMBA
     from repro.noc.simulator import NoCSimulator
-    from repro.noc.vector_engine import VectorEngine
+    from repro.noc.vector_engine import VectorEngine, run_batch
     from repro.obs import Observability, ObservabilityConfig, SamplerConfig, TraceConfig
 
     mesh, make = _scenario()
@@ -102,27 +113,50 @@ def measure(rounds: int) -> dict:
             )
         )
 
+    def batch(jit=None):
+        return run_batch(
+            mesh,
+            [make(13 + i) for i in range(BATCH)],
+            warmup=500,
+            measure=4_000,
+            jit=jit,
+        )[0]
+
     fast()  # warm imports/allocator outside the timed rounds
     vec()
-    t = {"fast": [], "vec": [], "trace": []}
+    timed = [("fast", fast), ("vec", vec), ("trace", traced), ("batch", batch)]
+    if HAVE_NUMBA:
+        batch(jit=True)  # compile the kernel outside the timed rounds
+        timed.append(("jbatch", lambda: batch(jit=True)))
+    t = {key: [] for key, _ in timed}
     for _ in range(rounds):
-        for key, fn in (("fast", fast), ("vec", vec), ("trace", traced)):
+        for key, fn in timed:
             t0 = time.perf_counter()
             result = fn()
             t[key].append(time.perf_counter() - t0)
             if key == "fast":
                 ref_sig = _signature(result)
             else:
+                # batch runs return their seed-13 member: every backend
+                # must stay bit-identical to the fast path.
                 assert _signature(result) == ref_sig, f"{key} diverged from fastpath"
     best = {k: min(v) for k, v in t.items()}
-    return {
+    measured = {
         "fastpath_seconds": round(best["fast"], 3),
         "vector_seconds": round(best["vec"], 3),
         "vector_speedup": round(best["fast"] / best["vec"], 2),
+        "soa_batch_per_sim_seconds": round(best["batch"] / BATCH, 4),
+        "soa_batch_speedup": round(best["fast"] / (best["batch"] / BATCH), 2),
         "obs_off_seconds": round(best["fast"], 3),
         "obs_tracing_seconds": round(best["trace"], 3),
         "obs_overhead_ratio": round(best["trace"] / best["fast"], 2),
     }
+    if HAVE_NUMBA:
+        measured["jit_batch_per_sim_seconds"] = round(best["jbatch"] / BATCH, 4)
+        measured["jit_batch_speedup"] = round(
+            best["fast"] / (best["jbatch"] / BATCH), 2
+        )
+    return measured
 
 
 #: Top-level baseline sections the guard reads; a file with none of them
@@ -193,6 +227,8 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
 
     engine = _section(baseline, "engine", "raw_simulator_c1_4000_cycles")
     vector = _section(baseline, "vector_engine", "single_sim")
+    soa = _section(baseline, "vector_engine", "soa_batch", "per_sim_speedup")
+    jit = _section(baseline, "vector_engine", "jit", "per_sim_speedup")
     obs = _section(baseline, "obs_overhead", "raw_simulator_c1_4000_cycles")
     print("benchmark-regression guard (C1 raw-sim, 500+4000 cycles):")
     guard(
@@ -209,6 +245,26 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
         worse_is_higher=False,
         tolerance=tol,
     )
+    guard(
+        "vector_engine.soa_batch.speedup.batch_32",
+        measured["soa_batch_speedup"],
+        soa.get("batch_32"),
+        worse_is_higher=False,
+        tolerance=tol,
+    )
+    if "jit_batch_speedup" in measured:
+        guard(
+            "vector_engine.jit.speedup.batch_32",
+            measured["jit_batch_speedup"],
+            jit.get("batch_32"),
+            worse_is_higher=False,
+            tolerance=tol,
+        )
+    else:
+        print(
+            "  vector_engine.jit.speedup.batch_32          ------- "
+            "(numba not installed; fallback is the guarded soa path) skip"
+        )
     guard(
         "obs_overhead.overhead_ratio",
         measured["obs_overhead_ratio"],
@@ -233,6 +289,23 @@ def update(measured: dict, baseline: dict) -> dict:
         vector_scalar_seconds=measured["vector_seconds"],
         speedup=measured["vector_speedup"],
     )
+    soa = baseline.setdefault("vector_engine", {}).setdefault("soa_batch", {})
+    soa["fastpath_single_seconds"] = measured["fastpath_seconds"]
+    soa.setdefault("per_sim_seconds", {})["batch_32"] = measured[
+        "soa_batch_per_sim_seconds"
+    ]
+    soa.setdefault("per_sim_speedup", {})["batch_32"] = measured["soa_batch_speedup"]
+    jit = baseline.setdefault("vector_engine", {}).setdefault("jit", {})
+    if "jit_batch_speedup" in measured:
+        jit["numba_available_at_update"] = True
+        jit.setdefault("per_sim_seconds", {})["batch_32"] = measured[
+            "jit_batch_per_sim_seconds"
+        ]
+        jit.setdefault("per_sim_speedup", {})["batch_32"] = measured[
+            "jit_batch_speedup"
+        ]
+    else:
+        jit["numba_available_at_update"] = False
     obs = baseline.setdefault("obs_overhead", {}).setdefault(
         "raw_simulator_c1_4000_cycles", {}
     )

@@ -1,0 +1,255 @@
+"""Optional compiled kernels for the vector engine's dense batch path.
+
+The dense mode of :class:`~repro.noc.vector_engine.VectorEngine` spends
+its router phases (route compute, VC allocation, switch arbitration,
+link traversal, credit return) in stage-major NumPy kernels.  Those same
+phases, written as one sequential ascending-channel sweep, are a natural
+JIT target: the sweep is the *always-exact* form of the switch phase (it
+replicates the object engine's ascending-tile router order, so same-cycle
+upstream credit returns are seen exactly — no credit-hazard detection or
+fallback needed), and a compiled loop runs it at machine speed.
+
+:func:`step_routers` below is that sweep, written in nopython-compatible
+Python over the engine's flat arrays.  :func:`load_kernel` returns it
+
+* ``numba.njit``-compiled when numba is importable (the ``vector-jit``
+  engine / ``REPRO_JIT=1``),
+* interpreted when ``REPRO_JIT=interp`` (bit-exact but slow — this is how
+  the golden suite validates the kernel logic on machines without numba),
+* not at all otherwise: the caller gets ``(None, reason)`` and falls back
+  to the pure-NumPy dense kernels, logging and reporting the reason.
+
+The function mutates the engine state arrays in place and communicates
+link sends and tail ejections through preallocated out-buffers, so the
+Python side only touches per-cycle aggregates (arrival buckets, delivered
+pid lists) — never per-flit state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+try:  # optional dependency: the engine degrades to NumPy kernels without it
+    import numba
+except ImportError:  # pragma: no cover - exercised on no-numba CI leg
+    numba = None
+
+__all__ = ["HAVE_NUMBA", "UNAVAILABLE_REASON", "load_kernel", "step_routers"]
+
+HAVE_NUMBA = numba is not None
+UNAVAILABLE_REASON = (
+    None
+    if HAVE_NUMBA
+    else "numba is not installed (pip install numba)"
+)
+
+
+def step_routers(
+    bz,
+    now,
+    C,
+    V,
+    T,
+    RING,
+    RM,
+    PER,
+    oldest,
+    st,
+    occ,
+    head,
+    outp,
+    outv,
+    credits,
+    otaken,
+    sa_ptr,
+    s_pid,
+    s_fi,
+    s_ready,
+    ROUTE,
+    VCLO,
+    UPCV,
+    ARR_BASE,
+    SA_NEXT,
+    pdst,
+    pcls,
+    plen,
+    pcreated,
+    busy,
+    send_ch,
+    send_pid,
+    send_fi,
+    eject_pid,
+    eject_g,
+    routed,
+    ejected,
+):
+    """One cycle of fused route + VC-alloc + switch over busy channels.
+
+    ``bz`` is the ascending list of busy channel ids; everything else is
+    the engine's flat state (mutated in place) plus immutable tables and
+    the per-instance activity counters.  Link sends land in
+    ``send_ch/send_pid/send_fi[:n_send]`` (all arriving ``now + LAT``,
+    handled by the caller) and tail ejections in
+    ``eject_pid/eject_g[:n_eject]`` in ascending tile order (the object
+    engine's delivered-append order).  Returns
+    ``(flits_moved, n_send, n_eject)``.
+
+    Exactness: this is a transliteration of the engine's
+    ``_switch_scalar(..., fused_alloc=True)`` sweep — the reference
+    sequential form — with dense-mode busy-array bookkeeping.  Router
+    ``g``'s candidates gather (with live credit reads) only after every
+    router ``< g`` has committed, so same-cycle upstream credit returns
+    are visible exactly as object-side; within a router, one winner per
+    output port moves one flit, oldest-first or round-robin exactly as
+    the object arbiters score them.
+    """
+    n = bz.shape[0]
+    moved = 0
+    n_send = 0
+    n_eject = 0
+    cand_c = np.empty(C, dtype=np.int64)
+    cand_op = np.empty(C, dtype=np.int64)
+    i = 0
+    while i < n:
+        g = bz[i] // C
+        ncand = 0
+        # ---- gather: route + greedy VC-alloc + ready/credit candidacy
+        while i < n and bz[i] // C == g:
+            c = bz[i]
+            i += 1
+            s = st[c]
+            if s == 3:
+                if occ[c] <= 0:
+                    continue
+                if s_ready[c * RING + (head[c] & RM)] > now:
+                    continue
+            elif s == 0:
+                continue
+            else:
+                f = c * RING + (head[c] & RM)
+                pid = s_pid[f]
+                if s == 1:
+                    outp[c] = ROUTE[(g % T) * T + pdst[pid]]
+                    st[c] = 2
+                lo = VCLO[pcls[pid]]
+                base = g * C + outp[c] * V + lo
+                got = False
+                for k in range(PER):
+                    if not otaken[base + k]:
+                        otaken[base + k] = True
+                        outv[c] = lo + k
+                        st[c] = 3
+                        got = True
+                        break
+                if not got:
+                    continue
+                if s_ready[f] > now:
+                    continue
+            op = outp[c]
+            if credits[g * C + op * V + outv[c]] <= 0:
+                continue
+            cand_c[ncand] = c
+            cand_op[ncand] = op
+            ncand += 1
+        # ---- arbitrate + commit: one winner per (router, out port)
+        for j in range(ncand):
+            op = cand_op[j]
+            if op < 0:
+                continue
+            w = cand_c[j]
+            multi = False
+            for k in range(j + 1, ncand):
+                if cand_op[k] == op:
+                    multi = True
+                    break
+            if multi:
+                if oldest:
+                    best_cr = pcreated[s_pid[w * RING + (head[w] & RM)]]
+                    best_key = w % C
+                    for k in range(j + 1, ncand):
+                        if cand_op[k] != op:
+                            continue
+                        c2 = cand_c[k]
+                        cr = pcreated[s_pid[c2 * RING + (head[c2] & RM)]]
+                        key = c2 % C
+                        if cr < best_cr or (cr == best_cr and key < best_key):
+                            w = c2
+                            best_cr = cr
+                            best_key = key
+                else:
+                    # Replicate the object arbiter's (key - ptr) % 64 score.
+                    ptr = sa_ptr[g * 5 + op]
+                    best_sc = (w % C - ptr) % 64
+                    for k in range(j + 1, ncand):
+                        if cand_op[k] != op:
+                            continue
+                        c2 = cand_c[k]
+                        sc = (c2 % C - ptr) % 64
+                        if sc < best_sc:
+                            w = c2
+                            best_sc = sc
+                for k in range(j, ncand):
+                    if cand_op[k] == op:
+                        cand_op[k] = -1
+            else:
+                cand_op[j] = -1
+            if not oldest:
+                sa_ptr[g * 5 + op] = SA_NEXT[w]
+            # ---- commit: move the winning flit one hop
+            f = w * RING + (head[w] & RM)
+            pid = s_pid[f]
+            fi = s_fi[f]
+            head[w] += 1
+            occ[w] -= 1
+            b = g // T
+            routed[b] += 1
+            ov = outv[w]
+            slot = g * C + op * V + ov
+            is_tail = fi + 1 == plen[pid]
+            if op == 0:
+                # Ejection: the NI returns the LOCAL credit the same
+                # cycle, so the decrement is skipped (net zero).
+                ejected[b] += 1
+                if is_tail:
+                    eject_pid[n_eject] = pid
+                    eject_g[n_eject] = g
+                    n_eject += 1
+            else:
+                credits[slot] -= 1
+                send_ch[n_send] = ARR_BASE[g * 4 + op - 1] + ov
+                send_pid[n_send] = pid
+                send_fi[n_send] = fi
+                n_send += 1
+            up = UPCV[w]
+            if up >= 0:
+                credits[up] += 1
+            if is_tail:
+                otaken[slot] = False
+                if occ[w] > 0:
+                    st[w] = 1
+                else:
+                    st[w] = 0
+                    busy[w] = False
+            moved += 1
+    return moved, n_send, n_eject
+
+
+_compiled = None
+
+
+def load_kernel():
+    """Resolve the router-sweep kernel: ``(callable, None)`` or ``(None, reason)``.
+
+    ``REPRO_JIT=interp`` forces the interpreted (uncompiled) kernel — the
+    exactness-testing backdoor; otherwise numba decides availability.
+    """
+    global _compiled
+    if os.environ.get("REPRO_JIT", "").strip().lower() == "interp":
+        return step_routers, None
+    if not HAVE_NUMBA:
+        return None, UNAVAILABLE_REASON
+    if _compiled is None:
+        _compiled = numba.njit(cache=True)(step_routers)
+    return _compiled, None

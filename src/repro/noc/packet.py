@@ -14,7 +14,17 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["TrafficClass", "Packet", "Flit", "FLIT_KIND_HEAD", "FLIT_KIND_BODY", "FLIT_KIND_TAIL"]
+import numpy as np
+
+__all__ = [
+    "TrafficClass",
+    "Packet",
+    "PacketTable",
+    "Flit",
+    "FLIT_KIND_HEAD",
+    "FLIT_KIND_BODY",
+    "FLIT_KIND_TAIL",
+]
 
 
 class TrafficClass(enum.IntEnum):
@@ -109,6 +119,108 @@ class Packet:
             out[0].kind = FLIT_KIND_TAIL
             out[0].is_head = True
         return out
+
+
+class PacketTable:
+    """Structure-of-arrays packet records for the vector engine.
+
+    One row per packet, identified by its row index (the *pid*).  The
+    append side and the random-write side (``inj``/``ej`` at
+    injection/ejection time) are plain Python lists — at the few-packets-
+    per-cycle granularity the engine appends at, list ops beat NumPy
+    scalar writes several-fold.  The four columns the dense per-cycle
+    kernels read with fancy indexing (``dst``/``length``/``tclass``/
+    ``created``) additionally carry NumPy mirrors, grown geometrically
+    and synced by :meth:`flush` once per simulated cycle, so no per-packet
+    NumPy write ever happens.
+
+    The table holds no :class:`Packet` objects: a packet that enters
+    through :meth:`append_packet` is copied field-by-field and dropped.
+    """
+
+    __slots__ = (
+        "src", "dst", "tclass", "length", "created", "app", "inj", "ej",
+        "dst_a", "len_a", "cls_a", "created_a", "_cap", "_synced",
+    )
+
+    #: columns mirrored into NumPy arrays by :meth:`flush`
+    _MIRRORED = (("dst", "dst_a"), ("length", "len_a"),
+                 ("tclass", "cls_a"), ("created", "created_a"))
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.src: list[int] = []
+        self.dst: list[int] = []
+        self.tclass: list[int] = []
+        self.length: list[int] = []
+        self.created: list[int] = []
+        self.app: list[int] = []
+        self.inj: list[int] = []  #: injection cycle, -1 until injected
+        self.ej: list[int] = []  #: ejection cycle, -1 until delivered
+        self._cap = capacity
+        self._synced = 0
+        for _, mirror in self._MIRRORED:
+            setattr(self, mirror, np.zeros(capacity, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def append(
+        self, src: int, dst: int, tclass: int, length: int, created: int, app: int
+    ) -> int:
+        """Add one packet record; returns its pid (row index)."""
+        pid = len(self.src)
+        self.src.append(src)
+        self.dst.append(dst)
+        self.tclass.append(tclass)
+        self.length.append(length)
+        self.created.append(created)
+        self.app.append(app)
+        self.inj.append(-1)
+        self.ej.append(-1)
+        return pid
+
+    def append_packet(self, packet: Packet) -> int:
+        """Copy a :class:`Packet`'s fields into a row (the object is not kept)."""
+        return self.append(
+            packet.src,
+            packet.dst,
+            int(packet.traffic_class),
+            packet.length,
+            packet.created_at,
+            int(packet.app),
+        )
+
+    def flush(self) -> None:
+        """Sync the NumPy mirrors with rows appended since the last flush.
+
+        Amortized O(new rows): mirrors double in capacity when outgrown
+        (geometric growth), and only the unsynced tail is copied.
+        """
+        n = len(self.src)
+        s = self._synced
+        if n == s:
+            return
+        if n > self._cap:
+            cap = self._cap
+            while cap < n:
+                cap *= 2
+            self._cap = cap
+            for _, mirror in self._MIRRORED:
+                old = getattr(self, mirror)
+                new = np.zeros(cap, dtype=np.int64)
+                new[:s] = old[:s]
+                setattr(self, mirror, new)
+        self.dst_a[s:n] = self.dst[s:n]
+        self.len_a[s:n] = self.length[s:n]
+        self.cls_a[s:n] = self.tclass[s:n]
+        self.created_a[s:n] = self.created[s:n]
+        self._synced = n
+
+    def column(self, name: str) -> np.ndarray:
+        """One full column as an int64 array (for result materialization)."""
+        return np.array(getattr(self, name), dtype=np.int64)
 
 
 @dataclass

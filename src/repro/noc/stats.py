@@ -102,6 +102,47 @@ class LatencyStats:
         for p in packets:
             self.add(p)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        latencies: np.ndarray,
+        apps: np.ndarray,
+        classes: np.ndarray,
+        srcs: np.ndarray | None = None,
+        dsts: np.ndarray | None = None,
+        include_local: bool = True,
+    ) -> "LatencyStats":
+        """Materialize stats from flat SoA columns, one row per packet.
+
+        Produces exactly the state a packet-by-packet :meth:`add` loop
+        over the same rows (in the same order) would: identical ``_all``
+        ordering, identical per-app/per-class sample lists, identical
+        ``dropped_local`` accounting.  This is how the vector engine's
+        structure-of-arrays batch path turns its packet-record columns
+        into the same public :class:`LatencyStats` the object engines
+        build incrementally — no new schema, just a bulk constructor.
+
+        ``classes`` holds :class:`TrafficClass` integer values; ``srcs``/
+        ``dsts`` are only consulted when ``include_local`` is False (to
+        drop and count src == dst packets like :meth:`add` does).
+        """
+        stats = cls(include_local=include_local)
+        latencies = np.asarray(latencies)
+        apps = np.asarray(apps)
+        classes = np.asarray(classes)
+        if not include_local and srcs is not None and latencies.size:
+            local = np.asarray(srcs) == np.asarray(dsts)
+            stats.dropped_local = int(local.sum())
+            keep = ~local
+            latencies, apps, classes = latencies[keep], apps[keep], classes[keep]
+        stats._all = latencies.tolist()
+        for app in np.unique(apps).tolist():
+            stats._by_app[app] = latencies[apps == app].tolist()
+        for value in np.unique(classes).tolist():
+            stats._by_class[TrafficClass(value)] = latencies[classes == value].tolist()
+        return stats
+
     @property
     def n_packets(self) -> int:
         return len(self._all)

@@ -180,8 +180,12 @@ class MappedWorkloadTraffic(TrafficGenerator):
         self.app_of_thread = wl.app_of_thread
         self.n_tiles = instance.n
         self._model = instance.model
-        # Replies scheduled for the future: cycle -> list of packets.
+        # Replies scheduled for the future: cycle -> list of packets
+        # (object path) / cycle -> list of field tuples (SoA path).  The
+        # two paths never mix within one generator: a generator is
+        # consumed by exactly one engine run.
         self._pending_replies: dict[int, list[Packet]] = {}
+        self._soa_pending: dict[int, list[tuple[int, int, int, int]]] = {}
         # Hot-loop lookup tables: one (2, n_threads) draw buffer matching
         # the stacked per-cycle probabilities, plus plain-list mirrors of
         # every per-thread/per-tile quantity the packet loop touches.
@@ -311,3 +315,71 @@ class MappedWorkloadTraffic(TrafficGenerator):
             if self._pending_replies:
                 out.extend(self._pending_replies.pop(now, []))
         return out
+
+    def _emit_soa(self, rows, threads, now: int, table) -> None:
+        """SoA twin of :meth:`_emit`: append straight into ``table``.
+
+        Writes this cycle's packets as rows of a
+        :class:`~repro.noc.packet.PacketTable` — no :class:`Packet`
+        objects anywhere — while consuming the RNG draw-for-draw
+        identically to :meth:`_emit` (the per-cache-request destination
+        draws interleave with the hit order exactly as there).  Row
+        order matches :meth:`_emit`'s returned list order: requests in
+        hit order, then this cycle's due replies in scheduling order.
+        """
+        rng = self._rng
+        src_c, dst_c, cls_c = table.src, table.dst, table.tclass
+        len_c, created_c, app_c = table.length, table.created, table.app
+        inj_c, ej_c = table.inj, table.ej
+        start = len(src_c)
+        if rows.size:
+            tile = self._tile_l
+            app = self._app_l
+            nearest = self._nearest_l
+            n_tiles = self.n_tiles
+            for memory, thread in zip(rows.tolist(), threads.tolist()):
+                src = tile[thread]
+                if memory:
+                    dst = nearest[src]
+                    cls = 2  # TrafficClass.MEM_REQUEST
+                else:
+                    dst = int(rng.integers(n_tiles))
+                    cls = 0  # TrafficClass.CACHE_REQUEST
+                src_c.append(src)
+                dst_c.append(dst)
+                cls_c.append(cls)
+                len_c.append(1)  # requests are single-flit (Table 2)
+                created_c.append(now)
+                app_c.append(app[thread])
+                inj_c.append(-1)
+                ej_c.append(-1)
+        if self.generate_replies:
+            end = len(src_c)
+            if end > start:
+                est = self._est_l
+                pending = self._soa_pending
+                l2, mem = self.l2_latency, self.memory_latency
+                for pid in range(start, end):
+                    src = src_c[pid]
+                    dst = dst_c[pid]
+                    if cls_c[pid] == 0:
+                        due = now + est[src][dst] + l2
+                        rcls = 1  # TrafficClass.CACHE_REPLY
+                    else:
+                        due = now + est[src][dst] + mem
+                        rcls = 3  # TrafficClass.MEM_REPLY
+                    pl = pending.get(due)
+                    if pl is None:
+                        pending[due] = [(dst, src, rcls, app_c[pid])]
+                    else:
+                        pl.append((dst, src, rcls, app_c[pid]))
+            if self._soa_pending:
+                for src, dst, rcls, app_id in self._soa_pending.pop(now, ()):
+                    src_c.append(src)
+                    dst_c.append(dst)
+                    cls_c.append(rcls)
+                    len_c.append(5)  # replies carry a 64 B line + head
+                    created_c.append(now)
+                    app_c.append(app_id)
+                    inj_c.append(-1)
+                    ej_c.append(-1)

@@ -54,15 +54,33 @@ all switch allocations).  The reorder is exact because:
   engine's traversal and therefore the exact float-summation order of
   the latency statistics.
 
-Traffic generators are consumed through the ordinary scalar
-:meth:`~repro.noc.traffic.TrafficGenerator.packets_for_cycle` interface,
-one call per instance per cycle — except for the fused batched draw
-above, which splits the same computation at
-:meth:`~repro.noc.traffic.MappedWorkloadTraffic._emit` so each
-instance's RNG stream is still consumed draw-for-draw identically to a
-fast-path run (the destination draws inside ``_emit`` interleave with
-the injection draws, which is also why draws cannot be prefetched
-across cycles).
+No per-packet objects
+---------------------
+Packets live as rows of a :class:`~repro.noc.packet.PacketTable` — flat
+id/src/dst/class/length/created/app/inject/eject columns grown
+geometrically — never as :class:`~repro.noc.packet.Packet` instances.
+:class:`~repro.noc.traffic.MappedWorkloadTraffic` emits straight into
+the table via :meth:`~repro.noc.traffic.MappedWorkloadTraffic._emit_soa`
+(consuming its RNG draw-for-draw identically to the object path: the
+destination draws interleave with the injection draws, which is also why
+draws cannot be prefetched across cycles), the engine tracks delivered
+*pids*, and latency statistics materialize once at the end of
+:meth:`VectorEngine.run` via :meth:`LatencyStats.from_arrays` — same
+delivered order, same ``SimulationResult`` fields, no per-packet Python
+work anywhere on the batch path.  Generators that are not plain
+``MappedWorkloadTraffic`` still enter through ``packets_for_cycle`` +
+:meth:`VectorEngine.submit`, which copies each object into the table and
+drops it.
+
+Compiled kernels
+----------------
+The dense router phases can optionally run as one numba-compiled
+sequential sweep (:mod:`repro.noc.jit_kernels`), selected with
+``engine="vector-jit"`` / ``jit=True`` / ``REPRO_JIT=1``.  The sweep is
+the always-exact sequential form (same as :meth:`_switch_scalar` with
+``fused_alloc``), so the credit-hazard fallback disappears entirely.
+When numba is missing the engine logs the reason, reports it through
+``SimulationResult.engine_fallback`` and runs the pure-NumPy kernels.
 
 Faults, invariants and observability hooks are *not* supported here;
 :class:`~repro.noc.simulator.NoCSimulator` falls back to the fast path
@@ -71,16 +89,23 @@ Faults, invariants and observability hooks are *not* supported here;
 
 from __future__ import annotations
 
+import logging
+import os
+
 import numpy as np
 
 from repro.core.latency import Mesh
+from repro.noc import jit_kernels
 from repro.noc.network import NetworkConfig
+from repro.noc.packet import PacketTable
 from repro.noc.power import ActivityCounts, PowerModel, PowerParams
 from repro.noc.routing import ROUTE_FUNCTIONS, Port, next_tile
 from repro.noc.simulator import SimulationResult
 from repro.noc.stats import LatencyStats
 from repro.noc.traffic import MappedWorkloadTraffic, TrafficGenerator
 from repro.utils import profiling
+
+logger = logging.getLogger("repro.noc")
 
 __all__ = ["VectorEngine", "run_batch", "simulate_batch"]
 
@@ -111,6 +136,8 @@ class VectorEngine:
         include_local: bool = True,
         *,
         mode: str = "auto",
+        jit: bool | None = None,
+        table_capacity: int = 4096,
     ) -> None:
         if mode not in ("auto", "scalar", "dense"):
             raise ValueError(f"unknown mode {mode!r}; expected auto|scalar|dense")
@@ -122,6 +149,33 @@ class VectorEngine:
         rc = self.config.router
         self.include_local = include_local
         self.power_model = PowerModel(mesh, power_params)
+        # Compiled-kernel resolution (before mode selection: an active
+        # kernel forces dense mode, where it applies).  ``jit=None``
+        # defers to the REPRO_JIT environment switch.
+        if jit is None:
+            jit = os.environ.get("REPRO_JIT", "").strip().lower() in (
+                "1", "true", "yes", "interp",
+            )
+        self.jit_requested = bool(jit)
+        self._jit_kernel = None
+        self.jit_fallback: str | None = None
+        if jit:
+            kernel, reason = jit_kernels.load_kernel()
+            if kernel is None:
+                self.jit_fallback = reason
+                logger.warning(
+                    "vector-jit kernel unavailable: %s; falling back to "
+                    "pure-NumPy dense kernels", reason,
+                )
+            elif mode == "scalar":
+                self.jit_fallback = (
+                    "scalar mode requested; the compiled kernel only "
+                    "drives the dense path"
+                )
+                logger.warning("vector-jit: %s", self.jit_fallback)
+            else:
+                self._jit_kernel = kernel
+                mode = "dense"  # the kernel replaces the dense router phases
         # Single-instance runs default to the scalar microkernel binding
         # (python-list state): at B == 1 the per-cycle arrays hold only
         # tens of events, where per-kernel dispatch costs more than the
@@ -211,18 +265,20 @@ class VectorEngine:
         # latency, so arrivals never need scanning — just a dict pop.
         self._arr: dict[int, list] = {}
 
-        # Packet table (amortized-doubling arrays + scalar-path mirrors).
-        self._cap = 4096
-        self.pdst_a = np.zeros(self._cap, dtype=np.int64)
-        self.plen_a = np.zeros(self._cap, dtype=np.int64)
-        self.pcls_a = np.zeros(self._cap, dtype=np.int64)
-        self.pcreated_a = np.zeros(self._cap, dtype=np.int64)
-        self._np = 0
-        self._pdst_l: list[int] = []
-        self._plen_l: list[int] = []
-        self._pcls_l: list[int] = []
-        self._pcreated_l: list[int] = []
-        self._pobjs: list = []
+        # Structure-of-arrays packet records.  Scalar mode reads the list
+        # columns directly; dense mode fancy-indexes the NumPy mirrors,
+        # synced by one pt.flush() per cycle.  No Packet objects survive
+        # past submit().
+        self.pt = PacketTable(table_capacity)
+
+        # Compiled-kernel out-buffers: at most one link send per router
+        # output port and one tail ejection per router per cycle.
+        if self._jit_kernel is not None:
+            self._k_send_ch = np.zeros(NT * 4, dtype=np.int64)
+            self._k_send_pid = np.zeros(NT * 4, dtype=np.int64)
+            self._k_send_fi = np.zeros(NT * 4, dtype=np.int64)
+            self._k_eject_pid = np.zeros(NT, dtype=np.int64)
+            self._k_eject_g = np.zeros(NT, dtype=np.int64)
 
         if self._scalar:
             # Rebind the hot mutable state (and the lookup tables the
@@ -249,9 +305,9 @@ class VectorEngine:
         from collections import deque
 
         self._ni_q = [deque() for _ in range(NT)]
-        self._ni_cur = [-1] * NT  # packet id mid-injection, or -1
-        self._ni_fi = [0] * NT  # next flit index of the current packet
-        self._ni_vc = [0] * NT
+        self._ni_cur = np.full(NT, -1, dtype=np.int64)  # pid mid-injection, or -1
+        self._ni_fi = np.zeros(NT, dtype=np.int64)  # next flit index of current
+        self._ni_vc = np.zeros(NT, dtype=np.int64)
         self._ni_tiles: set[int] = set()
         self._ni_npkts = 0  # queued + mid-injection packets, all NIs
 
@@ -277,43 +333,50 @@ class VectorEngine:
     # Packet entry
     # ------------------------------------------------------------------
 
-    def _register(self, packet) -> int:
-        """Add a packet to the table (list mirrors in scalar mode, numpy
-        columns in dense mode — each mode reads only its own form)."""
-        i = self._np
-        if self._scalar:
-            self._pdst_l.append(int(packet.dst))
-            self._plen_l.append(packet.length)
-            self._pcls_l.append(int(packet.traffic_class))
-            self._pcreated_l.append(packet.created_at)
-        else:
-            if i == self._cap:
-                self._cap *= 2
-                for name in ("pdst_a", "plen_a", "pcls_a", "pcreated_a"):
-                    old = getattr(self, name)
-                    new = np.zeros(self._cap, dtype=old.dtype)
-                    new[:i] = old
-                    setattr(self, name, new)
-            self.pdst_a[i] = packet.dst
-            self.plen_a[i] = packet.length
-            self.pcls_a[i] = int(packet.traffic_class)
-            self.pcreated_a[i] = packet.created_at
-        self._pobjs.append(packet)
-        self._np = i + 1
-        return i
-
     def submit(self, b: int, packet) -> None:
-        """Queue ``packet`` on instance ``b``; local packets complete now."""
+        """Copy ``packet`` into the table and queue it on instance ``b``.
+
+        The object is dropped after the copy; local (src == dst) packets
+        complete immediately, as in the object engine's NI.
+        """
+        pt = self.pt
+        pid = pt.append_packet(packet)
         if packet.src == packet.dst:
-            packet.injected_at = self.now
-            packet.ejected_at = self.now
-            self.delivered[b].append(packet)
+            pt.inj[pid] = pt.ej[pid] = self.now
+            self.delivered[b].append(pid)
             return
-        pid = self._register(packet)
         g = b * self.T + packet.src
         self._ni_q[g].append(pid)
         self._ni_npkts += 1
         self._ni_tiles.add(g)
+
+    def _queue_range(self, b: int, start: int, end: int, now: int) -> None:
+        """Queue table rows ``[start, end)`` (fresh from ``_emit_soa``).
+
+        Same effects as submit() per row, without an object in sight:
+        local packets complete immediately, the rest enter their source
+        NI queues.
+        """
+        pt = self.pt
+        src, dst = pt.src, pt.dst
+        inj, ej = pt.inj, pt.ej
+        base = b * self.T
+        q = self._ni_q
+        tiles = self._ni_tiles
+        delivered = self.delivered[b]
+        queued = 0
+        for pid in range(start, end):
+            s = src[pid]
+            if s == dst[pid]:
+                inj[pid] = now
+                ej[pid] = now
+                delivered.append(pid)
+            else:
+                g = base + s
+                q[g].append(pid)
+                tiles.add(g)
+                queued += 1
+        self._ni_npkts += queued
 
     # ------------------------------------------------------------------
     # Per-cycle phases
@@ -329,13 +392,14 @@ class VectorEngine:
         """Object-exact NI injection for tile ``g``: at most one flit."""
         cur = self._ni_cur[g]
         occ = self.occ
+        pt = self.pt
         if cur < 0:
             q = self._ni_q[g]
             if not q:
                 self._ni_tiles.discard(g)
                 return 0
             pid = q[0]
-            lo = self._vclo[self._pcls_l[pid]]
+            lo = self._vclo[pt.tclass[pid]]
             base = g * self.C  # LOCAL port is port 0
             st = self.st
             vc = -1
@@ -347,7 +411,7 @@ class VectorEngine:
             if vc < 0:
                 return 0
             q.popleft()
-            self._pobjs[pid].injected_at = now
+            pt.inj[pid] = now
             self._ni_cur[g] = cur = pid
             self._ni_fi[g] = 0
             self._ni_vc[g] = vc
@@ -385,7 +449,7 @@ class VectorEngine:
         self.buffer_writes[b] += 1
         self.flits_injected[b] += 1
         self._tot_buf += 1
-        if fi + 1 >= self._plen_l[cur]:
+        if fi + 1 >= pt.length[cur]:
             self._ni_cur[g] = -1
             self._ni_npkts -= 1
             if not self._ni_q[g]:
@@ -404,48 +468,52 @@ class VectorEngine:
         buffer write over every mid-packet tile — same effects, amortized
         over the batch.
         """
-        cur_l, fi_l, vc_l = self._ni_cur, self._ni_fi, self._ni_vc
+        cur_a, fi_a, vc_a = self._ni_cur, self._ni_fi, self._ni_vc
         st, occ = self.st, self.occ
         C = self.C
-        act: list[int] = []
-        for g in sorted(self._ni_tiles):
-            cur = cur_l[g]
-            if cur < 0:
+        pt = self.pt
+        tiles = self._ni_tiles
+        # Snapshot, unsorted: per-tile NI effects are mutually independent
+        # (each touches only its own router's LOCAL VCs and its own queue
+        # head), so visit order cannot change results.
+        ga = np.fromiter(tiles, dtype=np.int64, count=len(tiles))
+        idle = ga[cur_a[ga] < 0]
+        if idle.size:
+            # Scalar pass only for tiles starting a new packet: pop the
+            # queue head and claim a free LOCAL input VC of its router.
+            per = self._per
+            vclo = self._vclo
+            tclass = pt.tclass
+            for g in idle.tolist():
                 q = self._ni_q[g]
                 if not q:
-                    self._ni_tiles.discard(g)
+                    tiles.discard(g)
                     continue
                 pid = q[0]
-                lo = self._vclo[self.pcls_a[pid]]
+                lo = vclo[tclass[pid]]
                 base = g * C
-                vc = -1
-                for v in range(lo, lo + self._per):
+                for v in range(lo, lo + per):
                     c0 = base + v
                     if st[c0] == 0 and occ[c0] == 0:
-                        vc = v
+                        q.popleft()
+                        pt.inj[pid] = now
+                        cur_a[g] = pid
+                        fi_a[g] = 0
+                        vc_a[g] = v
                         break
-                if vc < 0:
-                    continue
-                q.popleft()
-                self._pobjs[pid].injected_at = now
-                cur_l[g] = pid
-                fi_l[g] = 0
-                vc_l[g] = vc
-            act.append(g)
-        if not act:
+        act = ga[cur_a[ga] >= 0]
+        if act.size == 0:
             return 0
-        ga = np.array(act, dtype=np.int64)
-        ch = ga * C + np.array([vc_l[g] for g in act], dtype=np.int64)
+        ch = act * C + vc_a[act]
         occ_ch = occ[ch]
         okm = occ_ch < self.DEPTH
         if not okm.all():
             ki = okm.nonzero()[0]
             if ki.size == 0:
                 return 0
-            ga, ch, occ_ch = ga[ki], ch[ki], occ_ch[ki]
-            act = [act[i] for i in ki.tolist()]
-        fi = np.array([fi_l[g] for g in act], dtype=np.int64)
-        cur = np.array([cur_l[g] for g in act], dtype=np.int64)
+            act, ch, occ_ch = act[ki], ch[ki], occ_ch[ki]
+        fi = fi_a[act]
+        cur = cur_a[act]
         slot = ch * self.RING + ((self.head[ch] + occ_ch) & self.RM)
         self.s_pid[slot] = cur
         self.s_fi[slot] = fi
@@ -456,41 +524,53 @@ class VectorEngine:
         if z.size:
             st[ch[z]] = 1
         self.busy[ch] = True
-        n = ga.size
+        n = act.size
         self._tot_buf += n
         if self.B == 1:
             self.buffer_writes[0] += n
             self.flits_injected[0] += n
         else:
-            bc = np.bincount(ga // self.T, minlength=self.B)
+            bc = np.bincount(act // self.T, minlength=self.B)
             self.buffer_writes += bc
             self.flits_injected += bc
-        done = (fi + 1 >= self.plen_a[cur]).tolist()
-        fi_next = (fi + 1).tolist()
-        for i, g in enumerate(act):
-            if done[i]:
-                cur_l[g] = -1
-                self._ni_npkts -= 1
-                if not self._ni_q[g]:
-                    self._ni_tiles.discard(g)
-            else:
-                fi_l[g] = fi_next[i]
+        fi1 = fi + 1
+        fi_a[act] = fi1  # done tiles reset fi on their next claim
+        di = (fi1 >= pt.len_a[cur]).nonzero()[0]
+        if di.size:
+            cur_a[act[di]] = -1
+            self._ni_npkts -= di.size
+            nq = self._ni_q
+            for g in act[di].tolist():
+                if not nq[g]:
+                    tiles.discard(g)
         return n
 
-    def _vc_alloc(self, aw: np.ndarray):
-        """Greedy first-free VC allocation in ascending channel order.
+    def _vc_alloc(self, aw: np.ndarray, aw_st: np.ndarray):
+        """Route newly-busy channels, then greedy first-free VC allocation
+        in ascending channel order.
 
-        Returns the channels that moved to ACTIVE this call (or None).
+        ``aw_st`` is the pre-route state snapshot of ``aw`` (1 = route
+        needed, 2 = already routed); routing is folded in here so the
+        head/front-pid gathers are shared with allocation.  Returns the
+        channels that moved to ACTIVE this call (or None).
         """
         RING, RM = self.RING, self.RM
+        f = aw * RING + (self.head[aw] & RM)
+        pids = self.s_pid[f]
+        rm = aw_st == 1
+        if rm.any():
+            r = aw[rm]
+            self.outp[r] = self.ROUTE[
+                self.CH_LT[r] * self.T + self.pt.dst_a[pids[rm]]
+            ]
+            self.st[r] = 2
         if aw.size <= 8:
             C, V, per = self.C, self.V, self._per
             otaken = self.otaken
-            head = self.head
+            pcls = self.pt.tclass
             done: list[int] = []
-            for c in aw.tolist():
-                f = c * RING + (int(head[c]) & RM)
-                lo = self._vclo[self.pcls_a[self.s_pid[f]]]
+            for i, c in enumerate(aw.tolist()):
+                lo = self._vclo[pcls[pids[i]]]
                 base = (c // C) * C + int(self.outp[c]) * V + lo
                 for k in range(per):
                     if not otaken[base + k]:
@@ -507,8 +587,7 @@ class VectorEngine:
         # k-th free VC of the partition; channels whose rank exceeds the
         # free count stay awaiting.  Exact because sequential greedy hands
         # out free VCs in ascending order to channels in ascending order.
-        f = aw * RING + (self.head[aw] & RM)
-        lo = self.VCLO[self.pcls_a[self.s_pid[f]]]
+        lo = self.VCLO[self.pt.cls_a[pids]]
         base = self.CH_G[aw] * self.C + self.outp[aw] * self.V + lo
         order = np.argsort(base, kind="stable")
         bs = base[order]
@@ -553,17 +632,27 @@ class VectorEngine:
         """
         n = cand.size
         C = self.C
+        pt = self.pt
         gk = self.CH_G5[cand] + op
-        gs = np.sort(gk)
-        if (gs[1:] == gs[:-1]).any():
+        # The no-duplicates fast path only pays off on sparse cycles: with
+        # candidates rivalling the (router, out_port) group count, some
+        # group always has rivals, so skip the sort-based probe entirely.
+        if n > 64 or ((gs := np.sort(gk))[1:] == gs[:-1]).any():
+            # One fused-key argsort instead of a multi-key lexsort: the
+            # minor keys fit disjoint low bit-fields (CH_KEY < 64, age
+            # < 2**26 cycles), and same-group candidates have distinct
+            # CH_KEYs, so the fused keys are unique — no stability needed.
             if self._oldest:
-                order = np.lexsort(
-                    (self.CH_KEY[cand], self.pcreated_a[self.s_pid[fr]], gk)
+                fused = (
+                    (gk << np.int64(32))
+                    + (pt.created_a[self.s_pid[fr]] << np.int64(6))
+                    + self.CH_KEY[cand]
                 )
             else:
                 # The object engine scores (key - pointer) % 64 — replicate
                 # the literal 64 (keys < 25 keep it injective either way).
-                order = np.lexsort(((self.CH_KEY[cand] - self.sa_ptr[gk]) % 64, gk))
+                fused = gk * np.int64(64) + (self.CH_KEY[cand] - self.sa_ptr[gk]) % 64
+            order = np.argsort(fused)
             gso = gk[order]
             first = np.empty(n, dtype=bool)
             first[0] = True
@@ -580,6 +669,7 @@ class VectorEngine:
         self.occ[win] -= 1
         n = win.size
         self._tot_buf -= n
+        tailm = fi == pt.len_a[pid] - 1
         ejm = opw == 0
         li = (~ejm).nonzero()[0]
         ei = ejm.nonzero()[0]
@@ -587,9 +677,10 @@ class VectorEngine:
             self.flits_routed[0] += n
             self.flits_ejected[0] += ei.size
         else:
-            self._bump(self.flits_routed, self.CH_INST[win])
+            inst = self.CH_INST[win]
+            self.flits_routed += np.bincount(inst, minlength=self.B)
             if ei.size:
-                self._bump(self.flits_ejected, self.CH_INST[win[ei]])
+                self.flits_ejected += np.bincount(inst[ei], minlength=self.B)
         if li.size:
             lw = win[li]
             # Ejections skip the decrement: the NI returns the LOCAL credit
@@ -601,19 +692,18 @@ class VectorEngine:
             )
             self._tot_link += li.size
         if ei.size:
-            tl = (fi[ei] == self.plen_a[pid[ei]] - 1).nonzero()[0]
+            tl = tailm[ei].nonzero()[0]
             if tl.size:
                 wt = win[ei][tl]
                 T = self.T
+                ej = pt.ej
                 for g_i, p_i in sorted(
                     zip(self.CH_G[wt].tolist(), pid[ei][tl].tolist())
                 ):
-                    p = self._pobjs[p_i]
-                    p.ejected_at = now
-                    self.delivered[g_i // T].append(p)
+                    ej[p_i] = now
+                    self.delivered[g_i // T].append(p_i)
         up = self.UPCV[win]
         self.credits[up[up >= 0]] += 1
-        tailm = fi == self.plen_a[pid] - 1
         ti = tailm.nonzero()[0]
         if ti.size:
             tw = win[ti]
@@ -645,18 +735,19 @@ class VectorEngine:
         """
         C, V, T = self.C, self.V, self.T
         vclo, per = self._vclo, self._per
-        if self._scalar:
-            ROUTE, pdst, pcls = self.ROUTE, self._pdst_l, self._pcls_l
-            plen, created = self._plen_l, self._pcreated_l
-        else:  # dense saturation sweep: packet columns live in numpy
-            ROUTE, pdst, pcls = self.ROUTE, None, None
-            plen, created = self.plen_a, self.pcreated_a
+        # Packet columns: the list forms serve both modes (python-list
+        # scalar indexing beats numpy scalar indexing even from the dense
+        # saturation sweep, and needs no mirror flush).
+        ROUTE = self.ROUTE
+        pt = self.pt
+        pdst, pcls = pt.dst, pt.tclass
+        plen, created, p_ej = pt.length, pt.created, pt.ej
         RING, RM = self.RING, self.RM
         st, occ, head = self.st, self.occ, self.head
         s_pid, s_fi, s_ready = self.s_pid, self.s_fi, self.s_ready
         outp, outv, credits = self.outp, self.outv, self.credits
         otaken, sa_ptr = self.otaken, self.sa_ptr
-        pobjs, delivered = self._pobjs, self.delivered
+        delivered = self.delivered
         ARR_BASE, UPCV, SA_NEXT = self.ARR_BASE, self.UPCV, self.SA_NEXT
         fr, fe = self.flits_routed, self.flits_ejected
         if self._scalar:
@@ -691,9 +782,8 @@ class VectorEngine:
                 # the LOCAL credit the same cycle (net zero, object-exact).
                 fe[b] += 1
                 if is_tail:
-                    p = pobjs[pid]
-                    p.ejected_at = now
-                    delivered[b].append(p)
+                    p_ej[pid] = now
+                    delivered[b].append(pid)
             else:
                 credits[slot] -= 1
                 if abucket is None:
@@ -866,6 +956,10 @@ class VectorEngine:
         moved = 0
         RING, RM = self.RING, self.RM
         occ, st, head = self.occ, self.st, self.head
+        # Sync the packet-table mirrors once per cycle: everything the
+        # dense kernels fancy-index below (len_a/cls_a/dst_a/created_a)
+        # was appended as list rows before this step.
+        self.pt.flush()
 
         # 1. Link arrivals -> downstream buffer writes.  Flits were
         # bucketed by arrival cycle at send time; at most one flit per
@@ -896,37 +990,33 @@ class VectorEngine:
         if self._ni_npkts and self._ni_tiles:
             moved += self._inject_dense(now)
 
-        # 3. Router phases, stage-major (see module docstring for the
+        # 3. Router phases: one compiled sequential sweep when the JIT
+        # kernel is active (always exact, no hazard detection), else the
+        # stage-major NumPy kernels (see module docstring for the
         # equivalence argument against the object engine's router-major
         # order).  ``stb`` is the pre-route state snapshot: routed
         # channels join VC allocation via the ``!= 3`` mask, activated
         # channels join the switch via _vc_alloc's return value.
-        if self._tot_buf:
+        if self._tot_buf and self._jit_kernel is not None:
+            moved += self._step_routers_kernel(now)
+        elif self._tot_buf:
             bz = self.busy.nonzero()[0]
             stb = st[bz]
-            r = bz[stb == 1]
-            if r.size:
-                f = r * RING + (head[r] & RM)
-                self.outp[r] = self.ROUTE[
-                    self.CH_LT[r] * self.T + self.pdst_a[self.s_pid[f]]
-                ]
-                st[r] = 2
-            aw = bz[stb != 3]
-            newly = self._vc_alloc(aw) if aw.size else None
-            act = bz[stb == 3]
+            m3 = stb == 3
+            aw = bz[~m3]
+            newly = self._vc_alloc(aw, stb[~m3]) if aw.size else None
+            act = bz[m3]
             if newly is not None:
                 act = np.concatenate((act, newly)) if act.size else newly
             if act.size:
-                ob = occ[act] > 0
-                if not ob.all():
-                    act = act[ob]
-            if act.size:
+                # s_ready at an empty channel's head slot is stale but the
+                # occ mask discards it, so one fused filter is safe.
                 f = act * RING + (head[act] & RM)
-                ready = self.s_ready[f] <= now
-                if not ready.all():
-                    ri = ready.nonzero()[0]
-                    act = act[ri]
-                    f = f[ri]
+                ok = (occ[act] > 0) & (self.s_ready[f] <= now)
+                if not ok.all():
+                    ki = ok.nonzero()[0]
+                    act = act[ki]
+                    f = f[ki]
             if act.size:
                 opa = self.outp[act]
                 sl = self.CH_BASE[act] + opa * self.V + self.outv[act]
@@ -950,6 +1040,48 @@ class VectorEngine:
 
         self.now = now + 1
         self._moved = moved
+        return moved
+
+    def _step_routers_kernel(self, now: int) -> int:
+        """Router phases via the compiled sequential sweep.
+
+        One kernel call replaces route + VC-alloc + switch for the whole
+        batch; the Python side only books the per-cycle aggregates (one
+        arrival bucket, delivered pids).
+        """
+        bz = self.busy.nonzero()[0]
+        if bz.size == 0:
+            return 0
+        pt = self.pt
+        moved, n_s, n_e = self._jit_kernel(
+            bz, now, self.C, self.V, self.T, self.RING, self.RM, self._per,
+            self._oldest, self.st, self.occ, self.head, self.outp,
+            self.outv, self.credits, self.otaken, self.sa_ptr, self.s_pid,
+            self.s_fi, self.s_ready, self.ROUTE, self.VCLO, self.UPCV,
+            self.ARR_BASE, self.SA_NEXT, pt.dst_a, pt.cls_a, pt.len_a,
+            pt.created_a, self.busy, self._k_send_ch, self._k_send_pid,
+            self._k_send_fi, self._k_eject_pid, self._k_eject_g,
+            self.flits_routed, self.flits_ejected,
+        )
+        if n_s:
+            self._arr.setdefault(now + self.LAT, []).append(
+                (
+                    self._k_send_ch[:n_s].copy(),
+                    self._k_send_pid[:n_s].copy(),
+                    self._k_send_fi[:n_s].copy(),
+                )
+            )
+            self._tot_link += n_s
+        if n_e:
+            T = self.T
+            ej = pt.ej
+            delivered = self.delivered
+            ep, eg = self._k_eject_pid, self._k_eject_g
+            for i in range(n_e):
+                pid = int(ep[i])
+                ej[pid] = now
+                delivered[int(eg[i]) // T].append(pid)
+        self._tot_buf -= moved
         return moved
 
     def _step_scalar(self) -> int:
@@ -1094,8 +1226,37 @@ class VectorEngine:
         traffics = self.traffics
         step = self._step
         submit = self.submit
+        pt = self.pt
+        src_col = pt.src
         if self.B == 1:
-            gen = traffics[0].packets_for_cycle
+            traffic = traffics[0]
+            if type(traffic) is MappedWorkloadTraffic:
+                # SoA emission: identical draws to packets_for_cycle, but
+                # rows append straight into the packet table — no Packet
+                # objects on the single-instance path either.
+                rng_fill = traffic._rng.random
+                db, pb, hb = traffic._draw_buf, traffic._p_both, traffic._hit_buf
+                emit = traffic._emit_soa
+                queue = self._queue_range
+                pend = traffic._soa_pending
+                for _ in range(cycles):
+                    now = self.now
+                    rng_fill(out=db)
+                    np.less(db, pb, out=hb)
+                    rows, threads = hb.nonzero()
+                    # No hits and no reply due now -> nothing to emit and
+                    # no RNG draws owed (destination draws follow hits).
+                    if rows.size or now in pend:
+                        start = len(src_col)
+                        emit(rows, threads, now, pt)
+                        end = len(src_col)
+                        if end > start:
+                            queue(0, start, end, now)
+                            if offered is not None:
+                                offered[0] += end - start
+                    step()
+                return
+            gen = traffic.packets_for_cycle
             for _ in range(cycles):
                 packets = gen(self.now)
                 if packets:
@@ -1111,26 +1272,38 @@ class VectorEngine:
         if batch is not None:
             # Fused draw: per-instance RNG fills (stream-identical to the
             # per-generator path), then ONE comparison + nonzero over the
-            # stacked buffer instead of B small kernel dispatches.
+            # stacked buffer instead of B small kernel dispatches.  Each
+            # instance's hits then append straight into the shared packet
+            # table via _emit_soa.
             tgp, tgd, tgh, tgb = batch
+            queue = self._queue_range
+            # Hoisted per-instance bound methods/dicts: the inner loops
+            # below run B times per cycle.
+            fills = [(t._rng.random, row) for t, row in zip(traffics, tgd)]
+            emits = [
+                (b, t._emit_soa, t._soa_pending)
+                for b, t in enumerate(traffics)
+            ]
             for _ in range(cycles):
                 now = self.now
-                for i, traffic in enumerate(traffics):
-                    traffic._rng.random(out=tgd[i])
+                for fill, row in fills:
+                    fill(out=row)
                 np.less(tgd, tgp, out=tgh)
                 ii, rows, threads = tgh.nonzero()
                 bounds = np.searchsorted(ii, tgb).tolist()
-                for b, traffic in enumerate(traffics):
-                    packets = traffic._emit(
-                        rows[bounds[b] : bounds[b + 1]],
-                        threads[bounds[b] : bounds[b + 1]],
-                        now,
-                    )
-                    if packets:
-                        for packet in packets:
-                            submit(b, packet)
+                for b, emit, pend in emits:
+                    lo, hi = bounds[b], bounds[b + 1]
+                    # Hitless instances with no reply due this cycle owe
+                    # neither table rows nor RNG draws: skip the call.
+                    if lo == hi and now not in pend:
+                        continue
+                    start = len(src_col)
+                    emit(rows[lo:hi], threads[lo:hi], now, pt)
+                    end = len(src_col)
+                    if end > start:
+                        queue(b, start, end, now)
                         if offered is not None:
-                            offered[b] += len(packets)
+                            offered[b] += end - start
                 step()
             return
         for _ in range(cycles):
@@ -1187,14 +1360,29 @@ class VectorEngine:
             self._drain()
         self._assert_conserved()
 
+        # Materialize statistics once from the packet-table columns: the
+        # delivered pid lists preserve the object engine's append order,
+        # so from_arrays builds bit-identical LatencyStats state.
+        pt = self.pt
+        created = pt.column("created")
+        ej = pt.column("ej")
+        apps = pt.column("app")
+        classes = pt.column("tclass")
+        srcs = pt.column("src")
+        dsts = pt.column("dst")
+        engine_name = "vector-jit" if self._jit_kernel is not None else "vector"
         results = []
         for b in range(B):
-            stats = LatencyStats(include_local=self.include_local)
-            delivered = 0
-            for p in self.delivered[b][delivered_before[b]:]:
-                if p.created_at >= warmup_end:
-                    stats.add(p)
-                    delivered += 1
+            pids = np.array(self.delivered[b][delivered_before[b]:], dtype=np.int64)
+            keep = pids[created[pids] >= warmup_end] if pids.size else pids
+            stats = LatencyStats.from_arrays(
+                latencies=ej[keep] - created[keep],
+                apps=apps[keep],
+                classes=classes[keep],
+                srcs=srcs[keep],
+                dsts=dsts[keep],
+                include_local=self.include_local,
+            )
             routed = int(self.flits_routed[b] - routed_before[b])
             ejected = int(self.flits_ejected[b] - ejected_before[b])
             counts = ActivityCounts(
@@ -1210,8 +1398,9 @@ class VectorEngine:
                     counts=counts,
                     cycles=measure,
                     packets_offered=int(offered[b]),
-                    packets_delivered=delivered,
-                    engine="vector",
+                    packets_delivered=int(keep.size),
+                    engine=engine_name,
+                    engine_fallback=self.jit_fallback,
                 )
             )
         return results
@@ -1240,10 +1429,11 @@ def run_batch(
     network_config: NetworkConfig | None = None,
     power_params: PowerParams | None = None,
     include_local: bool = True,
+    jit: bool | None = None,
 ) -> list[SimulationResult]:
     """Run B independent simulations batched in one array set."""
     engine = VectorEngine(
-        mesh, traffics, network_config, power_params, include_local
+        mesh, traffics, network_config, power_params, include_local, jit=jit
     )
     return engine.run(warmup=warmup, measure=measure)
 
@@ -1259,6 +1449,7 @@ def simulate_batch(
     network_config: NetworkConfig | None = None,
     power_params: PowerParams | None = None,
     include_local: bool = True,
+    jit: bool | None = None,
 ) -> list[SimulationResult]:
     """Batch-simulate ``(OBMInstance, Mapping)`` pairs with mapped traffic.
 
@@ -1303,4 +1494,5 @@ def simulate_batch(
         network_config=network_config,
         power_params=power_params,
         include_local=include_local,
+        jit=jit,
     )

@@ -1,0 +1,123 @@
+"""Compiled-kernel backend tests: selection, fallback, and exactness.
+
+numba is an *optional* dependency, so these tests must be meaningful on
+machines both with and without it:
+
+* without numba, requesting the JIT backend must degrade to the
+  pure-NumPy dense kernels with a logged, result-reported reason (never
+  an exception);
+* ``REPRO_JIT=interp`` runs the kernel uncompiled (plain Python), which
+  works everywhere and pins the kernel's bit-identity against the fast
+  path — the same validation CI's numba leg runs compiled;
+* with numba, the compiled kernel must produce the identical results
+  (the whole golden suite doubles as that check under ``REPRO_JIT=1``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.sss import sort_select_swap
+from repro.experiments.base import standard_instance
+from repro.noc import jit_kernels
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import MappedWorkloadTraffic
+from repro.noc.vector_engine import VectorEngine
+
+
+def _scenario():
+    inst = standard_instance("C1")
+    mapping = sort_select_swap(inst).mapping
+
+    def make(seed=13):
+        return MappedWorkloadTraffic(
+            inst, mapping, cycles_per_unit=1000.0, generate_replies=True, seed=seed
+        )
+
+    return inst.mesh, make
+
+
+def _signature(res):
+    return (
+        sorted(Counter(res.stats._all).items()),
+        sorted(res.stats.apl_by_app().items()),
+        res.counts.flit_router_traversals,
+        res.power.total,
+        res.packets_offered,
+        res.packets_delivered,
+    )
+
+
+def test_load_kernel_interp_returns_uncompiled(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "interp")
+    kernel, reason = jit_kernels.load_kernel()
+    assert kernel is jit_kernels.step_routers  # the plain Python function
+    assert reason is None
+
+
+def test_unavailable_reason_mentions_numba():
+    if jit_kernels.HAVE_NUMBA:
+        assert jit_kernels.UNAVAILABLE_REASON is None
+    else:
+        assert "numba" in jit_kernels.UNAVAILABLE_REASON
+
+
+@pytest.mark.skipif(jit_kernels.HAVE_NUMBA, reason="numba installed: no fallback")
+def test_jit_request_without_numba_logs_and_reports_fallback(caplog, monkeypatch):
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    mesh, make = _scenario()
+    with caplog.at_level("WARNING", logger="repro.noc"):
+        eng = VectorEngine(mesh, [make()], jit=True)
+    assert eng._jit_kernel is None
+    assert "numba" in eng.jit_fallback
+    assert any("falling back" in r.message for r in caplog.records)
+    res = eng.run(warmup=100, measure=400)[0]
+    # The fallback still computes the exact result, on the NumPy path.
+    assert res.engine == "vector"
+    assert "numba" in res.engine_fallback
+    fast = NoCSimulator(mesh, make(), engine="fastpath").run(warmup=100, measure=400)
+    assert _signature(res) == _signature(fast)
+
+
+def test_scalar_mode_refuses_kernel(monkeypatch, caplog):
+    """The kernel only drives the dense path; scalar mode reports why."""
+    monkeypatch.setenv("REPRO_JIT", "interp")
+    mesh, make = _scenario()
+    with caplog.at_level("WARNING", logger="repro.noc"):
+        eng = VectorEngine(mesh, [make()], mode="scalar", jit=True)
+    assert eng._jit_kernel is None
+    assert "scalar" in eng.jit_fallback
+
+
+def test_interp_kernel_bit_identical_to_fastpath(monkeypatch):
+    """Golden smoke for the kernel logic itself, no numba required: the
+    interpreted sweep must reproduce the fast path exactly, single and
+    batched (the full golden suite runs under REPRO_JIT=interp in CI)."""
+    monkeypatch.setenv("REPRO_JIT", "interp")
+    mesh, make = _scenario()
+    fast = NoCSimulator(mesh, make(), engine="fastpath").run(warmup=200, measure=600)
+    eng = VectorEngine(mesh, [make(), make(14)])
+    assert eng._jit_kernel is not None
+    batch = eng.run(warmup=200, measure=600)
+    assert batch[0].engine == "vector-jit"
+    assert batch[0].engine_fallback is None
+    assert _signature(batch[0]) == _signature(fast)
+
+
+def test_vector_jit_engine_through_simulator(monkeypatch):
+    """engine='vector-jit' must run everywhere: compiled with numba,
+    pure-NumPy (with a reported reason) without."""
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    mesh, make = _scenario()
+    sim = NoCSimulator(mesh, make(), engine="vector-jit")
+    res = sim.run(warmup=100, measure=400)
+    fast = NoCSimulator(mesh, make(), engine="fastpath").run(warmup=100, measure=400)
+    assert _signature(res) == _signature(fast)
+    if jit_kernels.HAVE_NUMBA:
+        assert res.engine == "vector-jit"
+        assert res.engine_fallback is None
+    else:
+        assert res.engine == "vector"
+        assert "numba" in res.engine_fallback

@@ -12,6 +12,7 @@ NoCSimulator fallback matrix and the simulate_batch API surface.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import pytest
@@ -46,6 +47,19 @@ def _signature(res):
     )
 
 
+def _assert_vector_engine(res):
+    """The result came from the vector engine family, with no fallback.
+
+    Runs with ``REPRO_JIT`` set report ``vector-jit`` (so the whole
+    golden suite doubles as the compiled-kernel bit-identity suite); in
+    that case a fallback reason is legitimate when numba is missing.
+    """
+    assert res.engine in ("vector", "vector-jit")
+    jit_env = os.environ.get("REPRO_JIT", "").strip().lower()
+    if jit_env not in ("1", "true", "yes", "interp"):
+        assert res.engine_fallback is None
+
+
 def _mapped_traffic_factory(name: str, seed: int = 13):
     inst = standard_instance(name)
     mapping = sort_select_swap(inst).mapping
@@ -66,8 +80,7 @@ def test_vector_matches_fastpath_on_paper_configs(name):
     )
     vec = NoCSimulator(inst.mesh, make(), engine="vector").run(warmup=200, measure=800)
     assert _signature(vec) == _signature(fast)
-    assert vec.engine == "vector"
-    assert vec.engine_fallback is None
+    _assert_vector_engine(vec)
     assert fast.engine == "fastpath"
 
 
@@ -141,7 +154,7 @@ def test_batch_entries_match_single_runs():
             warmup=200, measure=800
         )
         assert _signature(res) == _signature(single)
-        assert res.engine == "vector"
+        _assert_vector_engine(res)
 
 
 def test_unknown_engine_rejected():

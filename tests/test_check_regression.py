@@ -76,6 +76,8 @@ class TestCheckLogic:
         "fastpath_seconds": 1.0,
         "vector_seconds": 0.5,
         "vector_speedup": 2.0,
+        "soa_batch_per_sim_seconds": 0.2,
+        "soa_batch_speedup": 5.0,
         "obs_off_seconds": 1.0,
         "obs_tracing_seconds": 1.5,
         "obs_overhead_ratio": 1.5,
@@ -87,8 +89,25 @@ class TestCheckLogic:
         failures = mod.check(self.MEASURED, baseline, tol=0.30, tol_seconds=0.60)
         assert failures == []
         out = capsys.readouterr().out
-        assert out.count("baseline missing) skip") == 2  # fastpath + obs
+        assert out.count("baseline missing) skip") == 3  # fastpath + soa + obs
         assert "vector_engine.single_sim.speedup" in out
+
+    def test_jit_quantity_skips_without_numba_measurement(self, capsys):
+        """No jit_batch_speedup in measured (numba absent): the jit guard
+        must report a skip, not KeyError, even when a baseline exists."""
+        mod = _load_module()
+        baseline = {
+            "vector_engine": {
+                "soa_batch": {"per_sim_speedup": {"batch_32": 5.0}},
+                "jit": {"per_sim_speedup": {"batch_32": 7.0}},
+            }
+        }
+        failures = mod.check(self.MEASURED, baseline, tol=0.30, tol_seconds=0.60)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "vector_engine.jit.speedup.batch_32" in out
+        assert "numba not installed" in out
+        assert "vector_engine.soa_batch.speedup.batch_32" in out
 
     def test_regression_detected(self):
         mod = _load_module()
