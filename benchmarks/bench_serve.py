@@ -1,0 +1,209 @@
+"""Service-path benchmark: request latency, cache behaviour, batching.
+
+Starts the ``python -m repro serve`` daemon in-process, drives it with a
+deterministic mixed workload from concurrent clients — duplicate solve
+requests (cache/coalescing path) plus a concurrent simulation burst
+(micro-batching path) — and reports request-latency percentiles, the
+cache hit ratio, and vector-batch occupancy.  Numbers feed the
+``service`` section of ``BENCH_perf.json``.
+
+Latency percentiles come from the service's own ``serve_request_seconds``
+histogram (log-spaced buckets, so p50/p99 are bucket-resolution
+estimates), exactly what a Prometheus scrape of ``/metrics`` would see.
+
+Regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.service.app import MappingService, serve
+
+MESH = 8
+UNIQUE_PROBLEMS = 8
+DUPLICATES = 4  # requests per unique problem in the solve mix
+SIM_BURST = 12  # concurrent simulation requests in one micro-batch window
+CLIENTS = 8  # concurrent client threads
+WARMUP, MEASURE = 100, 400
+
+PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def problem_spec(index: int) -> dict:
+    """Unique-but-similar problems: same shape, rates shifted per index."""
+    shift = index * 1e-3
+    return {
+        "mesh": MESH,
+        "apps": [
+            {
+                "name": f"app{a}",
+                "cache_rates": [
+                    1.0 + shift + 0.1 * a + 0.01 * j for j in range(8)
+                ],
+                "mem_rates": [0.3 + shift + 0.02 * j for j in range(8)],
+            }
+            for a in range(4)
+        ],
+    }
+
+
+class _Daemon:
+    """The service plus its HTTP endpoint on an ephemeral port."""
+
+    def __init__(self, **config) -> None:
+        self.service = MappingService(**config)
+        started = threading.Event()
+        self._holder: dict = {}
+
+        async def main() -> None:
+            server, port, stop = await serve(self.service, "127.0.0.1", 0)
+            self._holder.update(port=port, stop=stop, loop=asyncio.get_running_loop())
+            started.set()
+            try:
+                await stop.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        self._thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+        self._thread.start()
+        if not started.wait(10):
+            raise RuntimeError("service did not start")
+        self.port = self._holder["port"]
+
+    def post(self, doc: dict) -> dict:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
+        conn.request("POST", "/map", json.dumps(doc), {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        conn.close()
+        if resp.status != 200:
+            raise RuntimeError(f"request failed ({resp.status}): {payload}")
+        return payload
+
+    def stop(self) -> None:
+        self._holder["loop"].call_soon_threadsafe(self._holder["stop"].set)
+        self._thread.join(10)
+
+
+def run_benchmark() -> dict:
+    daemon = _Daemon(workers=2, batch_window=0.02)
+    try:
+        # -- solve mix: duplicates exercise the cache and coalescing ----
+        requests = [
+            problem_spec(i) for i in range(UNIQUE_PROBLEMS) for _ in range(DUPLICATES)
+        ]
+        # deterministic interleave so duplicates arrive both concurrently
+        # (coalesced) and after their entry landed (LRU hits)
+        requests = requests[::2] + requests[1::2]
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            metas = [doc["meta"]["cache"] for doc in pool.map(daemon.post, requests)]
+        solve_wall = time.perf_counter() - t0
+
+        # -- simulate burst: one problem, distinct seeds, one window ----
+        sim_requests = [
+            {
+                **problem_spec(0),
+                "simulate": True,
+                "sim": {"warmup": WARMUP, "measure": MEASURE, "seed": s},
+            }
+            for s in range(SIM_BURST)
+        ]
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=SIM_BURST) as pool:
+            list(pool.map(daemon.post, sim_requests))
+        sim_wall = time.perf_counter() - t0
+
+        service = daemon.service
+        latency = service.registry.histogram("serve_request_seconds")
+        occupancy = service.registry.histogram(
+            "serve_batch_occupancy", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        batcher = service.batcher
+        counts = {
+            kind: metas.count(kind) for kind in ("miss", "hit", "coalesced")
+        }
+        mean_occupancy = (
+            occupancy.sum / occupancy.total if occupancy.total else 0.0
+        )
+        section = {
+            "description": (
+                "In-process serve daemon driven over HTTP by "
+                f"{CLIENTS} concurrent clients: {len(requests)} solve requests "
+                f"({UNIQUE_PROBLEMS} unique x {DUPLICATES} duplicates), then a "
+                f"{SIM_BURST}-request concurrent simulation burst (one problem, "
+                "distinct seeds) coalesced by the micro-batcher onto "
+                "run_batch.  Latency percentiles are bucket estimates from the "
+                "service's serve_request_seconds histogram (what /metrics "
+                "exports).  Regenerate with: PYTHONPATH=src python "
+                "benchmarks/bench_serve.py --update"
+            ),
+            "request_latency_seconds": {
+                "p50": round(latency.quantile(0.5), 6),
+                "p99": round(latency.quantile(0.99), 6),
+                "count": latency.total,
+            },
+            "solve_mix": {
+                "requests": len(requests),
+                "unique": UNIQUE_PROBLEMS,
+                "wall_seconds": round(solve_wall, 3),
+                "cache": counts,
+                "hit_ratio": round(
+                    service.registry.gauge("serve_cache_hit_ratio").value, 3
+                ),
+            },
+            "simulate_burst": {
+                "requests": SIM_BURST,
+                "wall_seconds": round(sim_wall, 3),
+                "batches_run": batcher.batches_run,
+                "mean_batch_occupancy": round(mean_occupancy, 2),
+                "max_batch_occupancy": SIM_BURST if batcher.batches_run else 0,
+            },
+        }
+        # sanity: the benchmark is meaningless if the paths it claims to
+        # measure were not exercised
+        assert counts["hit"] + counts["coalesced"] >= 1, metas
+        assert counts["miss"] >= UNIQUE_PROBLEMS
+        assert mean_occupancy > 1.0, "simulation burst was not batched"
+        return section
+    finally:
+        daemon.stop()
+
+
+def test_serve_benchmark():
+    """Pytest entry: run the benchmark and print the section."""
+    section = run_benchmark()
+    print(json.dumps({"service": section}, indent=2, sort_keys=True))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help=f"write the 'service' section into {PERF_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+    section = run_benchmark()
+    print(json.dumps({"service": section}, indent=2, sort_keys=True))
+    if args.update:
+        perf = json.loads(PERF_PATH.read_text())
+        perf["service"] = section
+        PERF_PATH.write_text(json.dumps(perf, indent=2, sort_keys=True) + "\n")
+        print(f"updated {PERF_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

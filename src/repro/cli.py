@@ -20,6 +20,10 @@ Commands
     Inspect a trace JSONL written by ``simulate --trace-out``: slowest
     packets with per-hop breakdowns, per-app latency percentiles, schema
     validation, Chrome/Perfetto conversion.
+``serve``
+    Run the mapping-as-a-service daemon: a local HTTP/JSON endpoint with
+    a canonical result cache, request batching onto the vector engine,
+    and a Prometheus ``/metrics`` exposition (GUIDE §14).
 ``experiments``
     Alias of ``python -m repro.experiments``.
 """
@@ -29,17 +33,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.baselines import (
-    global_mapping,
-    monte_carlo,
-    random_mapping,
-    simulated_annealing,
-)
 from repro.core.bounds import max_apl_lower_bound
-from repro.core.genetic import genetic_algorithm
 from repro.core.latency import LatencyParams, Mesh, MeshLatencyModel
 from repro.core.problem import OBMInstance
-from repro.core.sss import sort_select_swap
+from repro.core.registry import ALGORITHMS
 from repro.io import (
     load_json,
     mapping_from_dict,
@@ -50,15 +47,6 @@ from repro.io import (
 from repro.utils import profiling
 from repro.utils.text import format_table, grid_to_text
 from repro.workloads.parsec import CONFIG_NAMES, parsec_config
-
-ALGORITHMS = {
-    "sss": sort_select_swap,
-    "global": global_mapping,
-    "mc": lambda inst: monte_carlo(inst, n_samples=10_000, seed=0),
-    "sa": lambda inst: simulated_annealing(inst, n_iters=3_000, seed=0),
-    "ga": lambda inst: genetic_algorithm(inst, seed=0),
-    "random": lambda inst: random_mapping(inst, seed=0),
-}
 
 
 def _build_instance(args) -> OBMInstance:
@@ -308,6 +296,30 @@ def _cmd_bound(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import logging
+
+    from repro.service.app import run_service
+
+    logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+
+    def ready(port: int) -> None:
+        print(f"serving on http://{args.host}:{port}", flush=True)
+
+    return run_service(
+        args.host,
+        args.port,
+        ready=ready,
+        cache_size=args.cache_size,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        failure_budget=args.failure_budget,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -439,6 +451,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=["global", "sss"],
     )
     p_bound.set_defaults(func=_cmd_bound)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the mapping-as-a-service HTTP daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8177)
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="bounded LRU result-cache capacity (default 256 entries)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="micro-batch coalescing window for simulation requests",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="flush a simulation batch at this size even inside the window",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent blocking solves/simulations (default 2)",
+    )
+    p_serve.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout before a worker is abandoned "
+        "(default REPRO_TASK_TIMEOUT or none)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None,
+        help="per-task retry budget (default REPRO_TASK_RETRIES or 0)",
+    )
+    p_serve.add_argument(
+        "--failure-budget", type=int, default=None,
+        help="total failed attempts tolerated before the service answers "
+        "503 (default REPRO_FAILURE_BUDGET or unlimited)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -30,6 +30,9 @@ __all__ = [
     "set_partition_from_mapping",
 ]
 
+#: Latency-parameter field order used by :meth:`OBMInstance.spec`.
+_PARAM_FIELDS = ("td_r", "td_w", "td_q", "td_s")
+
 
 @dataclass(frozen=True)
 class Mapping:
@@ -181,6 +184,55 @@ class OBMInstance:
         apls = self.app_apls(mapping)
         active = apls[self.workload.active_apps]
         return bool(np.all(active <= gamma + 1e-12))
+
+    # Problem-in / result-out boundary -------------------------------------
+
+    def spec(self, *, include_idle: bool = False) -> dict:
+        """JSON-safe description of this problem instance.
+
+        The spec is the service/library boundary format: everything a
+        remote caller needs to pose this exact problem (mesh geometry,
+        latency parameters, per-application rates), nothing tied to the
+        local process.  Round-trips through :meth:`from_spec`.  Padding
+        pseudo-threads are dropped by default — they are an artifact of
+        the tile count, which the mesh entry already determines.
+        """
+        workload = self.workload if include_idle else self.workload.without_idle()
+        params = self.model.params
+        return {
+            "mesh": {"rows": self.mesh.rows, "cols": self.mesh.cols},
+            "params": {name: float(getattr(params, name)) for name in _PARAM_FIELDS},
+            "apps": [
+                {
+                    "name": app.name,
+                    "cache_rates": app.cache_rates.tolist(),
+                    "mem_rates": app.mem_rates.tolist(),
+                }
+                for app in workload.applications
+            ],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "OBMInstance":
+        """Build an instance from a :meth:`spec` document."""
+        from repro.core.workload import Application, Workload
+
+        mesh_doc = spec["mesh"]
+        if isinstance(mesh_doc, dict):
+            mesh = Mesh(int(mesh_doc["rows"]), int(mesh_doc["cols"]))
+        else:
+            mesh = Mesh.square(int(mesh_doc))
+        params = LatencyParams(
+            **{k: float(v) for k, v in spec.get("params", {}).items()}
+        )
+        apps = tuple(
+            Application(
+                str(a.get("name", f"app{i}")), a["cache_rates"], a["mem_rates"]
+            )
+            for i, a in enumerate(spec["apps"])
+        )
+        workload = Workload(apps, name=str(spec.get("name", "spec")))
+        return cls(MeshLatencyModel(mesh, params), workload)
 
     def _check(self, mapping: Mapping) -> None:
         if mapping.n != self.n:

@@ -1,0 +1,29 @@
+"""The canonical algorithm registry shared by the CLI and the service.
+
+Every entry is a callable ``OBMInstance -> MappingResult`` with all
+stochastic knobs pinned to fixed seeds, so a named algorithm is a pure
+function of the instance — the property both the CLI's reproducibility
+story and the service's result cache rely on.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import (
+    global_mapping,
+    monte_carlo,
+    random_mapping,
+    simulated_annealing,
+)
+from repro.core.genetic import genetic_algorithm
+from repro.core.sss import sort_select_swap
+
+__all__ = ["ALGORITHMS"]
+
+ALGORITHMS = {
+    "sss": sort_select_swap,
+    "global": global_mapping,
+    "mc": lambda inst: monte_carlo(inst, n_samples=10_000, seed=0),
+    "sa": lambda inst: simulated_annealing(inst, n_iters=3_000, seed=0),
+    "ga": lambda inst: genetic_algorithm(inst, seed=0),
+    "random": lambda inst: random_mapping(inst, seed=0),
+}

@@ -67,6 +67,9 @@ __all__ = [
     "MAX_POOL_REPLACEMENTS",
     "parallel_map",
     "cell_seeds",
+    "resolve_failure_budget",
+    "resolve_retries",
+    "resolve_timeout",
     "resolve_workers",
     "supports_kwarg",
     "supports_workers",
@@ -116,7 +119,8 @@ class CellFailure(RuntimeError):
         self.cause = cause
 
 
-def _resolve_timeout(timeout: float | None) -> float | None:
+def resolve_timeout(timeout: float | None) -> float | None:
+    """Normalise a per-task timeout (env fallback ``REPRO_TASK_TIMEOUT``)."""
     if timeout is None:
         raw = os.environ.get("REPRO_TASK_TIMEOUT", "")
         timeout = float(raw) if raw else None
@@ -125,7 +129,8 @@ def _resolve_timeout(timeout: float | None) -> float | None:
     return timeout
 
 
-def _resolve_retries(retries: int | None) -> int:
+def resolve_retries(retries: int | None) -> int:
+    """Normalise a per-task retry budget (env fallback ``REPRO_TASK_RETRIES``)."""
     if retries is None:
         retries = int(os.environ.get("REPRO_TASK_RETRIES", "0"))
     if retries < 0:
@@ -133,7 +138,8 @@ def _resolve_retries(retries: int | None) -> int:
     return retries
 
 
-def _resolve_failure_budget(budget: int | None) -> int | None:
+def resolve_failure_budget(budget: int | None) -> int | None:
+    """Normalise a run-wide failure budget (env fallback ``REPRO_FAILURE_BUDGET``)."""
     if budget is None:
         raw = os.environ.get("REPRO_FAILURE_BUDGET", "")
         budget = int(raw) if raw else None
@@ -239,10 +245,10 @@ def parallel_map(
     """
     cells = list(cells)
     workers = resolve_workers(workers)
-    timeout = _resolve_timeout(timeout)
-    retries = _resolve_retries(retries)
+    timeout = resolve_timeout(timeout)
+    retries = resolve_retries(retries)
     backoff = resolve_backoff(backoff)
-    failure_budget = _resolve_failure_budget(failure_budget)
+    failure_budget = resolve_failure_budget(failure_budget)
     if sleep is None:
         sleep = time.sleep
     if on_failure not in ("raise", "none"):

@@ -47,6 +47,11 @@ class SimulationResult:
     engine: str = "fastpath"
     #: why a requested engine was substituted (None when none was)
     engine_fallback: str | None = None
+    #: engine the caller asked for (equals ``engine`` unless a fallback
+    #: happened); carried on the result so payload builders — the service
+    #: response, artifact writers — can surface a fallback without access
+    #: to the simulator object that detected it
+    engine_requested: str = "fastpath"
 
     @property
     def delivery_ratio(self) -> float:
@@ -155,7 +160,9 @@ class NoCSimulator:
                 self.include_local,
                 jit=True if self.engine == "vector-jit" else None,
             )
-            return vec.run(warmup=warmup, measure=measure)[0]
+            result = vec.run(warmup=warmup, measure=measure)[0]
+            result.engine_requested = self.engine_requested
+            return result
         net = self.network
         sampler = None if self.obs is None else self.obs.sampler
         if sampler is not None:
@@ -214,6 +221,7 @@ class NoCSimulator:
             invariant_checks=checker.checks_run if checker is not None else 0,
             engine=self.engine,
             engine_fallback=self.engine_fallback,
+            engine_requested=self.engine_requested,
         )
         if self.obs is not None:
             self.obs.finalize(result, net)

@@ -1371,6 +1371,7 @@ class VectorEngine:
         srcs = pt.column("src")
         dsts = pt.column("dst")
         engine_name = "vector-jit" if self._jit_kernel is not None else "vector"
+        engine_requested = "vector-jit" if self.jit_requested else "vector"
         results = []
         for b in range(B):
             pids = np.array(self.delivered[b][delivered_before[b]:], dtype=np.int64)
@@ -1401,6 +1402,7 @@ class VectorEngine:
                     packets_delivered=int(keep.size),
                     engine=engine_name,
                     engine_fallback=self.jit_fallback,
+                    engine_requested=engine_requested,
                 )
             )
         return results

@@ -20,6 +20,7 @@ from bisect import bisect_left
 
 __all__ = [
     "LATENCY_BUCKETS",
+    "SECONDS_BUCKETS",
     "latency_buckets",
     "Counter",
     "Gauge",
@@ -51,6 +52,12 @@ def latency_buckets(lo: float = 1.0, hi: float = 8192.0, per_octave: int = 2) ->
 
 #: The one shared latency-bucket layout (cycles).
 LATENCY_BUCKETS = latency_buckets()
+
+#: Wall-clock bucket layout (seconds) for request/batch timing histograms
+#: — the serving-side counterpart of :data:`LATENCY_BUCKETS`.  100 us to
+#: 16 s at 2 buckets per octave covers cache hits (sub-millisecond)
+#: through batched simulation replays (seconds) in 35 buckets.
+SECONDS_BUCKETS = latency_buckets(lo=1e-4, hi=16.0, per_octave=2)
 
 
 class Counter:

@@ -1,0 +1,42 @@
+"""Mapping-as-a-service: the ``python -m repro serve`` daemon.
+
+Layers (each usable on its own):
+
+- :mod:`repro.service.canonical` — problem normalization and the
+  cache-key fingerprint scheme.
+- :mod:`repro.service.cache` — bounded LRU result cache and the
+  per-mesh/parameter latency-model memo.
+- :mod:`repro.service.workers` — supervised worker pool for blocking
+  solves/simulations (PR 5 failure budget + backoff semantics).
+- :mod:`repro.service.batcher` — micro-batching of simulation requests
+  onto the vector engine's ``run_batch``.
+- :mod:`repro.service.app` — the request handler and the stdlib HTTP
+  endpoint tying the above together.
+"""
+
+from repro.service.app import MappingService, run_service, serve
+from repro.service.batcher import SimulationBatcher
+from repro.service.cache import LRUCache, ModelMemo
+from repro.service.canonical import (
+    RATE_DECIMALS,
+    CanonicalProblem,
+    CanonicalRequest,
+    canonicalize,
+    quantize_rate,
+)
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "MappingService",
+    "run_service",
+    "serve",
+    "SimulationBatcher",
+    "LRUCache",
+    "ModelMemo",
+    "RATE_DECIMALS",
+    "CanonicalProblem",
+    "CanonicalRequest",
+    "canonicalize",
+    "quantize_rate",
+    "WorkerPool",
+]

@@ -1,0 +1,598 @@
+"""The mapping-as-a-service daemon: ``python -m repro serve``.
+
+A resident asyncio process that turns mapping problems into certified
+answers over a local HTTP/JSON endpoint — no cold CLI start, no repeated
+TC/TM computation, no per-request simulation runs when concurrent
+requests can share a vector-engine batch.
+
+Endpoints
+---------
+``POST /map``
+    Body: a problem spec (see :func:`MappingService.map_request`).
+    Returns the thread-to-tile permutation, the paper's evaluation
+    metrics, the certified lower bound, and (optionally) cycle-measured
+    APLs.  ``result`` is deterministic for a given request body;
+    ``meta`` carries cache bookkeeping (``hit``/``coalesced``/``miss``).
+``GET /metrics``
+    Prometheus text exposition of the service registry: request latency
+    percentiles, cache hit/miss counters, batch occupancy, queue depth.
+``GET /healthz``
+    Liveness plus the supervision :class:`RunReport` and cache counters.
+``POST /shutdown``
+    Clean shutdown (the CI smoke job uses it).
+
+Caching semantics
+-----------------
+Results are cached under the *canonical* problem fingerprint
+(:mod:`repro.service.canonical`), so requests that differ only by app
+order, thread labels, names, or sub-quantum rate noise share one solve.
+The cached entry stores results in canonical labels and each response
+translates them back into the requester's labels.  Solver tie-breaks
+(and the simulated traffic realization) follow the labeling of the
+request that *filled* the entry: the filling requester's response is
+byte-identical to solving its instance directly, and every duplicate of
+that request gets the same bytes from the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+
+from repro.core.bounds import max_apl_lower_bound
+from repro.core.problem import Mapping, OBMInstance
+from repro.core.registry import ALGORITHMS
+from repro.core.workload import Application, Workload
+from repro.experiments.resilience import (
+    FailureBudgetExceeded,
+    RunReport,
+    config_fingerprint,
+    json_safe,
+)
+from repro.obs.metrics import MetricsRegistry, SECONDS_BUCKETS
+from repro.service.batcher import SimulationBatcher
+from repro.service.cache import LRUCache, ModelMemo
+from repro.service.canonical import CanonicalRequest, canonicalize
+from repro.service.workers import WorkerPool
+
+__all__ = ["MappingService", "serve", "run_service"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Simulation knobs accepted under the request's ``sim`` key.
+_SIM_DEFAULTS = {
+    "warmup": 1_000,
+    "measure": 5_000,
+    "seed": 0,
+    "engine": "vector",
+    "invariants": False,
+}
+
+
+def _roundtrip(doc: dict) -> dict:
+    """Canonical JSON round-trip: one representation for fresh and cached."""
+    return json.loads(json.dumps(json_safe(doc), sort_keys=True, separators=(",", ":")))
+
+
+def measured_payload(result) -> dict:
+    """JSON-safe measured section of a :class:`SimulationResult`.
+
+    Per-app containers are keyed by app index (as strings after the JSON
+    round-trip); the engine triple surfaces any auto-fallback — the
+    reason string is the exact one the simulator logged.
+    """
+    stats = result.stats
+    apl_by_app = stats.apl_by_app()
+    return {
+        "engine": result.engine,
+        "engine_requested": result.engine_requested,
+        "engine_fallback": result.engine_fallback,
+        "cycles": result.cycles,
+        "packets_offered": result.packets_offered,
+        "packets_delivered": result.packets_delivered,
+        "packets_lost": result.packets_lost,
+        "delivery_ratio": result.delivery_ratio,
+        "invariant_checks": result.invariant_checks,
+        "apl_by_app": {str(a): v for a, v in apl_by_app.items()},
+        # an empty measurement window (no packets delivered) is a valid
+        # outcome, not a server error
+        "max_apl": stats.max_apl() if apl_by_app else None,
+        "dev_apl": stats.dev_apl() if apl_by_app else None,
+        "percentiles_by_app": {
+            str(a): p for a, p in stats.percentiles_by_app().items()
+        },
+    }
+
+
+class RequestError(ValueError):
+    """A malformed request (answered with HTTP 400)."""
+
+
+class MappingService:
+    """The problem-in/result-out core, independent of the HTTP layer."""
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 256,
+        model_memo_size: int = 64,
+        batch_window: float = 0.005,
+        max_batch: int = 32,
+        workers: int = 2,
+        task_timeout: float | None = None,
+        retries: int | None = None,
+        failure_budget: int | None = None,
+        batch_runner=None,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.report = RunReport()
+        self.cache = LRUCache(cache_size, registry=self.registry)
+        self.models = ModelMemo(model_memo_size, registry=self.registry)
+        self.pool = WorkerPool(
+            workers,
+            timeout=task_timeout,
+            retries=retries,
+            failure_budget=failure_budget,
+            report=self.report,
+            registry=self.registry,
+        )
+        self.batcher = SimulationBatcher(
+            self.pool,
+            window=batch_window,
+            max_batch=max_batch,
+            registry=self.registry,
+            runner=batch_runner,
+        )
+        self._inflight: dict = {}
+        self._m_latency = self.registry.histogram(
+            "serve_request_seconds",
+            "end-to-end /map request latency",
+            bounds=SECONDS_BUCKETS,
+        )
+        self._m_requests = self.registry.counter(
+            "serve_requests_total", "requests served", endpoint="map", status="200"
+        )
+        self._m_coalesced = self.registry.counter(
+            "serve_cache_coalesced_total",
+            "requests that joined an in-flight duplicate",
+        )
+        self._m_hit_ratio = self.registry.gauge(
+            "serve_cache_hit_ratio", "lru+coalesced hits over all lookups"
+        )
+
+    # -- request parsing ---------------------------------------------------
+
+    def _parse(self, payload: dict):
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        spec = dict(payload)
+        if "workload" in spec and spec["workload"] is not None:
+            if spec.get("apps"):
+                raise RequestError("give either 'workload' or 'apps', not both")
+            from repro.workloads.parsec import CONFIG_NAMES, parsec_config
+
+            name = str(spec["workload"]).upper()
+            if name not in CONFIG_NAMES:
+                raise RequestError(
+                    f"unknown workload {spec['workload']!r}; expected one of {CONFIG_NAMES}"
+                )
+            mesh_doc = spec.get("mesh", 8)
+            if isinstance(mesh_doc, dict):
+                n_tiles = int(mesh_doc["rows"]) * int(mesh_doc["cols"])
+            else:
+                n_tiles = int(mesh_doc) ** 2
+            workload = parsec_config(name, threads_per_app=n_tiles // 4)
+            spec["apps"] = [
+                {
+                    "name": app.name,
+                    "cache_rates": app.cache_rates.tolist(),
+                    "mem_rates": app.mem_rates.tolist(),
+                }
+                for app in workload.applications
+            ]
+
+        algorithm = str(spec.get("algorithm", "sss"))
+        if algorithm not in ALGORITHMS:
+            raise RequestError(
+                f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+        want_bounds = bool(spec.get("bounds", True))
+        simulate = bool(spec.get("simulate", False))
+        sim = dict(_SIM_DEFAULTS)
+        sim_doc = spec.get("sim") or {}
+        unknown = set(sim_doc) - set(_SIM_DEFAULTS)
+        if unknown:
+            raise RequestError(f"unknown sim options: {sorted(unknown)}")
+        sim.update(sim_doc)
+        sim["warmup"] = int(sim["warmup"])
+        sim["measure"] = int(sim["measure"])
+        sim["seed"] = int(sim["seed"])
+        sim["invariants"] = bool(sim["invariants"])
+        sim["engine"] = str(sim["engine"])
+        if sim["engine"] not in ("fastpath", "vector", "vector-jit"):
+            raise RequestError(f"unknown sim engine {sim['engine']!r}")
+        if sim["warmup"] < 0 or sim["measure"] <= 0:
+            raise RequestError("sim.warmup must be >= 0 and sim.measure > 0")
+        timeout = spec.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise RequestError("timeout must be positive")
+
+        try:
+            canon = canonicalize(spec)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+        app_names = [
+            str(a.get("name", f"app{i}")) for i, a in enumerate(spec["apps"])
+        ]
+        return canon, spec["apps"], app_names, algorithm, want_bounds, simulate, sim, timeout
+
+    def _request_instance(self, canon: CanonicalRequest, apps_doc) -> OBMInstance:
+        """The instance in *request* labels, on the memoized latency model.
+
+        Rates are used verbatim (NOT quantized): quantization exists only
+        to decide cache identity.  Computation always runs on the filling
+        requester's exact numbers, so its response is bit-identical to
+        solving the same instance directly.
+        """
+        problem = canon.problem
+        model = self.models.get(problem.rows, problem.cols, problem.params)
+        apps = tuple(
+            Application(f"app{i}", a["cache_rates"], a["mem_rates"])
+            for i, a in enumerate(apps_doc)
+        )
+        return OBMInstance(model, Workload(apps, name="request"))
+
+    # -- single-flight cache -----------------------------------------------
+
+    async def _cached(self, key, compute):
+        """In-flight coalescing, then LRU lookup, then compute-and-fill.
+
+        The in-flight check comes first so a coalesced duplicate is
+        counted as a hit, not as an LRU miss for an entry that is still
+        being computed.
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            self._m_coalesced.inc()
+            self._update_hit_ratio()
+            return await asyncio.shield(task), "coalesced"
+        entry = self.cache.get(key)
+        if entry is not None:
+            self._update_hit_ratio()
+            return entry, "hit"
+
+        async def fill():
+            entry = await compute()
+            self.cache.put(key, entry)
+            return entry
+
+        task = asyncio.get_running_loop().create_task(fill())
+        self._inflight[key] = task
+
+        def cleanup(t: asyncio.Task) -> None:
+            self._inflight.pop(key, None)
+            if not t.cancelled():
+                t.exception()  # mark retrieved even if every waiter left
+
+        task.add_done_callback(cleanup)
+        self._update_hit_ratio()
+        return await asyncio.shield(task), "miss"
+
+    def _update_hit_ratio(self) -> None:
+        hits = self.cache.hits + self._m_coalesced.value
+        total = hits + self.cache.misses
+        self._m_hit_ratio.set(hits / total if total else 0.0)
+
+    # -- solve path --------------------------------------------------------
+
+    def _solve_sync(self, canon: CanonicalRequest, apps_doc, algorithm: str, want_bounds: bool) -> dict:
+        """Blocking solve in request labels; returns the canonical entry."""
+        instance = self._request_instance(canon, apps_doc)
+        result = ALGORITHMS[algorithm](instance)
+        perm = result.mapping.perm
+        n_real = canon.problem.n_threads
+        apls = [
+            None if v != v else float(v)  # NaN (idle app) -> None
+            for v in result.evaluation.apls[: canon.n_apps]
+        ]
+        entry = {
+            "algorithm": algorithm,
+            "perm": canon.perm_to_canonical(perm),
+            "pad_tiles": [int(t) for t in perm[n_real:]],
+            "apls": canon.by_app_to_canonical(apls),
+            "max_apl": result.evaluation.max_apl,
+            "dev_apl": result.evaluation.dev_apl,
+            "g_apl": result.evaluation.g_apl,
+            "min_max_ratio": result.evaluation.min_max_ratio,
+            "bounds": None,
+        }
+        if want_bounds:
+            lb = max_apl_lower_bound(instance)
+            entry["bounds"] = {
+                "value": lb.value,
+                "mean_bound": lb.mean_bound,
+                "per_app_bound": lb.per_app_bound,
+                "gap": lb.gap(result.evaluation.max_apl),
+            }
+        return _roundtrip(entry)
+
+    def _mapping_for(self, canon: CanonicalRequest, entry: dict) -> Mapping:
+        """Full request-label permutation from a canonical entry."""
+        perm = canon.perm_from_canonical(entry["perm"]) + [
+            int(t) for t in entry["pad_tiles"]
+        ]
+        return Mapping(perm)
+
+    # -- simulate path -----------------------------------------------------
+
+    def _simulate_single_sync(self, instance, mapping, sim: dict):
+        from repro.noc.simulator import NoCSimulator
+        from repro.noc.traffic import MappedWorkloadTraffic
+
+        traffic = MappedWorkloadTraffic(instance, mapping, seed=sim["seed"])
+        simulator = NoCSimulator(
+            instance.mesh,
+            traffic,
+            invariants=sim["invariants"] or None,
+            engine=sim["engine"],
+        )
+        return simulator.run(warmup=sim["warmup"], measure=sim["measure"])
+
+    async def _simulate(self, canon: CanonicalRequest, apps_doc, entry: dict, sim: dict) -> dict:
+        from repro.noc.traffic import MappedWorkloadTraffic
+
+        instance = self._request_instance(canon, apps_doc)
+        mapping = self._mapping_for(canon, entry)
+        if sim["engine"] == "vector" and not sim["invariants"]:
+            # The batchable common case: coalesce with whatever arrives
+            # inside the micro-batch window.
+            traffic = MappedWorkloadTraffic(instance, mapping, seed=sim["seed"])
+            result = await self.batcher.submit(
+                instance.mesh, traffic, warmup=sim["warmup"], measure=sim["measure"]
+            )
+        else:
+            result = await self.pool.run(
+                self._simulate_single_sync, instance, mapping, sim
+            )
+        payload = measured_payload(result)
+        # Store per-app containers in canonical order so relabeled
+        # duplicates translate cleanly.
+        by_app = payload.pop("apl_by_app")
+        pct = payload.pop("percentiles_by_app")
+        payload["apls"] = canon.by_app_to_canonical(
+            [by_app.get(str(i)) for i in range(canon.n_apps)]
+        )
+        payload["percentiles"] = canon.by_app_to_canonical(
+            [pct.get(str(i)) for i in range(canon.n_apps)]
+        )
+        payload["warmup"] = sim["warmup"]
+        payload["measure"] = sim["measure"]
+        payload["seed"] = sim["seed"]
+        return _roundtrip(payload)
+
+    # -- the endpoint ------------------------------------------------------
+
+    async def map_request(self, payload: dict) -> dict:
+        """Serve one ``POST /map`` body; returns the response document."""
+        t0 = time.perf_counter()
+        parsed = self._parse(payload)
+        canon, apps_doc, app_names, algorithm, want_bounds, simulate, sim, timeout = parsed
+
+        async def respond() -> dict:
+            problem_fp = canon.problem.fingerprint
+            solve_key = config_fingerprint(
+                "serve.solve",
+                problem=problem_fp,
+                algorithm=algorithm,
+                bounds=want_bounds,
+            )
+            entry, solve_kind = await self._cached(
+                solve_key,
+                lambda: self.pool.run(
+                    self._solve_sync, canon, apps_doc, algorithm, want_bounds
+                ),
+            )
+            result = {
+                "algorithm": entry["algorithm"],
+                "apps": app_names,
+                "perm": canon.perm_from_canonical(entry["perm"]),
+                "evaluation": {
+                    "apls": canon.by_app_from_canonical(entry["apls"]),
+                    "max_apl": entry["max_apl"],
+                    "dev_apl": entry["dev_apl"],
+                    "g_apl": entry["g_apl"],
+                    "min_max_ratio": entry["min_max_ratio"],
+                },
+                "bounds": entry["bounds"],
+            }
+            meta = {
+                "fingerprint": problem_fp,
+                "cache": solve_kind,
+            }
+            if simulate:
+                sim_key = config_fingerprint(
+                    "serve.sim", problem=problem_fp, algorithm=algorithm, sim=sim
+                )
+                mentry, sim_kind = await self._cached(
+                    sim_key, lambda: self._simulate(canon, apps_doc, entry, sim)
+                )
+                measured = {
+                    k: v
+                    for k, v in mentry.items()
+                    if k not in ("apls", "percentiles")
+                }
+                measured["apls"] = canon.by_app_from_canonical(mentry["apls"])
+                measured["percentiles"] = canon.by_app_from_canonical(
+                    mentry["percentiles"]
+                )
+                result["measured"] = measured
+                meta["sim_cache"] = sim_kind
+            return {"result": result, "meta": meta}
+
+        try:
+            if timeout is not None:
+                doc = await asyncio.wait_for(respond(), timeout=timeout)
+            else:
+                doc = await respond()
+        finally:
+            self._m_latency.observe(time.perf_counter() - t0)
+        self._m_requests.inc()
+        return doc
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "degraded"
+            if (
+                self.pool.failure_budget is not None
+                and self.report.cells_failed > 0
+            )
+            else "ok",
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "coalesced": int(self._m_coalesced.value),
+                "evictions": self.cache.evictions,
+                "hit_ratio": self.cache.hit_ratio,
+            },
+            "batcher": {
+                "batches_run": self.batcher.batches_run,
+                "requests_batched": self.batcher.requests_batched,
+            },
+            "report": self.report.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer (stdlib-only: asyncio streams + hand-rolled HTTP/1.1)
+# ----------------------------------------------------------------------
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, path, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise RequestError("malformed request line") from None
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0) or 0)
+    if length > _MAX_BODY:
+        raise RequestError(f"body exceeds {_MAX_BODY} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+def _response_bytes(status: int, payload, content_type: str) -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               500: "Internal Server Error", 503: "Service Unavailable",
+               504: "Gateway Timeout"}
+    if isinstance(payload, (dict, list)):
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    else:
+        body = str(payload).encode()
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def serve(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+):
+    """Start the HTTP endpoint; returns ``(server, bound_port, stop_event)``."""
+    from repro.obs.exporters import render_prometheus
+
+    stop = asyncio.Event()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        status, payload, ctype = 500, {"error": "internal error"}, "application/json"
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                writer.close()
+                return
+            method, path, _headers, body = request
+            route = (method, path.split("?", 1)[0])
+            if route == ("POST", "/map"):
+                doc = json.loads(body.decode() or "null")
+                status, payload = 200, await service.map_request(doc)
+            elif route == ("GET", "/metrics"):
+                status, payload, ctype = (
+                    200,
+                    render_prometheus(service.registry),
+                    "text/plain; version=0.0.4",
+                )
+            elif route == ("GET", "/healthz"):
+                status, payload = 200, service.health()
+            elif route == ("POST", "/shutdown"):
+                status, payload = 200, {"status": "shutting down"}
+                stop.set()
+            else:
+                status, payload = 404, {"error": f"no route {method} {path}"}
+        except RequestError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            status, payload = 400, {"error": f"invalid JSON body: {exc}"}
+        except asyncio.TimeoutError:
+            status, payload = 504, {"error": "request timed out"}
+        except FailureBudgetExceeded as exc:
+            status, payload = 503, {"error": str(exc)}
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            logger.exception("unhandled error serving request")
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            writer.write(_response_bytes(status, payload, ctype))
+            await writer.drain()
+            writer.close()
+        except ConnectionError:
+            pass
+
+    server = await asyncio.start_server(handle, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    logger.info("serving on http://%s:%d", host, bound_port)
+    return server, bound_port, stop
+
+
+async def _serve_until_stopped(service: MappingService, host: str, port: int, ready=None) -> None:
+    server, bound_port, stop = await serve(service, host, port)
+    if ready is not None:
+        ready(bound_port)
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+def run_service(host: str = "127.0.0.1", port: int = 8177, *, ready=None, **config) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    service = MappingService(**config)
+    try:
+        asyncio.run(_serve_until_stopped(service, host, port, ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
