@@ -36,6 +36,7 @@ DUPLICATES = 4  # requests per unique problem in the solve mix
 SIM_BURST = 12  # concurrent simulation requests in one micro-batch window
 CLIENTS = 8  # concurrent client threads
 WARMUP, MEASURE = 100, 400
+TRACE_PROBE = 6  # unique problems in the tracing-overhead probe
 
 PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -97,6 +98,40 @@ class _Daemon:
         self._thread.join(10)
 
 
+def measure_tracing_overhead(rounds: int = 2) -> dict:
+    """Wall-clock ratio of an identical sequential burst, tracing on vs off.
+
+    Fresh daemons per round (cold caches both times), interleaved
+    off/on rounds with best-of-N per configuration so machine load
+    mostly cancels.  Also imported by ``check_regression.py`` to guard
+    ``service.obs_overhead.overhead_ratio``.
+    """
+
+    def burst(daemon: _Daemon) -> float:
+        t0 = time.perf_counter()
+        for _pass in range(2):  # miss pass, then cache-hit pass
+            for i in range(TRACE_PROBE):
+                daemon.post(problem_spec(i))
+        return time.perf_counter() - t0
+
+    configs = (("off", {}), ("on", {"trace": True, "trace_clock": "logical"}))
+    times: dict[str, list[float]] = {"off": [], "on": []}
+    for _ in range(max(1, rounds)):
+        for key, config in configs:
+            daemon = _Daemon(workers=2, **config)
+            try:
+                times[key].append(burst(daemon))
+            finally:
+                daemon.stop()
+    best_off, best_on = min(times["off"]), min(times["on"])
+    return {
+        "off_seconds": round(best_off, 3),
+        "tracing_on_seconds": round(best_on, 3),
+        "overhead_ratio": round(best_on / best_off, 2),
+        "requests_per_round": 2 * TRACE_PROBE,
+    }
+
+
 def run_benchmark() -> dict:
     daemon = _Daemon(workers=2, batch_window=0.02)
     try:
@@ -147,8 +182,10 @@ def run_benchmark() -> dict:
                 "distinct seeds) coalesced by the micro-batcher onto "
                 "run_batch.  Latency percentiles are bucket estimates from the "
                 "service's serve_request_seconds histogram (what /metrics "
-                "exports).  Regenerate with: PYTHONPATH=src python "
-                "benchmarks/bench_serve.py --update"
+                "exports).  obs_overhead compares an identical sequential "
+                "burst with request-span tracing on vs off (fresh daemons, "
+                "interleaved rounds, best-of-N).  Regenerate with: "
+                "PYTHONPATH=src python benchmarks/bench_serve.py --update"
             ),
             "request_latency_seconds": {
                 "p50": round(latency.quantile(0.5), 6),
@@ -177,9 +214,11 @@ def run_benchmark() -> dict:
         assert counts["hit"] + counts["coalesced"] >= 1, metas
         assert counts["miss"] >= UNIQUE_PROBLEMS
         assert mean_occupancy > 1.0, "simulation burst was not batched"
-        return section
     finally:
         daemon.stop()
+    # -- tracing overhead: same burst, span tracing on vs off -----------
+    section["obs_overhead"] = measure_tracing_overhead()
+    return section
 
 
 def test_serve_benchmark():

@@ -15,6 +15,9 @@ Guarded quantities and directions:
   only where numba is importable; otherwise reported as a skip -- the
   fallback is the already-guarded pure-NumPy path)
 * ``obs_overhead...overhead_ratio``      -- must not RISE >30%
+* ``service.obs_overhead.overhead_ratio``-- must not RISE >30% (the serve
+  daemon's request-span tracing, measured by bench_serve's interleaved
+  on/off burst; tracing must stay close to free)
 * ``engine...fastpath_seconds``          -- must not RISE >60% (seconds
   get a wider default tolerance than ratios: absolute wall-clock varies
   with host and machine load phase, while ratios taken from interleaved
@@ -156,12 +159,19 @@ def measure(rounds: int) -> dict:
         measured["jit_batch_speedup"] = round(
             best["fast"] / (best["jbatch"] / BATCH), 2
         )
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_serve import measure_tracing_overhead
+
+    serve_obs = measure_tracing_overhead(rounds=min(2, rounds))
+    measured["serve_obs_off_seconds"] = serve_obs["off_seconds"]
+    measured["serve_obs_on_seconds"] = serve_obs["tracing_on_seconds"]
+    measured["serve_tracing_ratio"] = serve_obs["overhead_ratio"]
     return measured
 
 
 #: Top-level baseline sections the guard reads; a file with none of them
 #: is treated as section-less (exit 2), not silently all-skip.
-GUARDED_SECTIONS = ("engine", "vector_engine", "obs_overhead")
+GUARDED_SECTIONS = ("engine", "vector_engine", "obs_overhead", "service")
 
 
 class BaselineError(RuntimeError):
@@ -272,6 +282,20 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
         worse_is_higher=True,
         tolerance=tol,
     )
+    if "serve_tracing_ratio" in measured:
+        serve_obs = _section(baseline, "service", "obs_overhead")
+        guard(
+            "service.obs_overhead.overhead_ratio",
+            measured["serve_tracing_ratio"],
+            serve_obs.get("overhead_ratio"),
+            worse_is_higher=True,
+            tolerance=tol,
+        )
+    else:
+        print(
+            "  service.obs_overhead.overhead_ratio         ------- "
+            "(serve probe not measured) skip"
+        )
     return failures
 
 
@@ -314,6 +338,13 @@ def update(measured: dict, baseline: dict) -> dict:
         tracing_on_seconds=measured["obs_tracing_seconds"],
         overhead_ratio=measured["obs_overhead_ratio"],
     )
+    if "serve_tracing_ratio" in measured:
+        serve_obs = baseline.setdefault("service", {}).setdefault("obs_overhead", {})
+        serve_obs.update(
+            off_seconds=measured["serve_obs_off_seconds"],
+            tracing_on_seconds=measured["serve_obs_on_seconds"],
+            overhead_ratio=measured["serve_tracing_ratio"],
+        )
     return baseline
 
 

@@ -226,6 +226,89 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve_report(path, args) -> int:
+    """Offline forensics over a saved ``GET /debug/requests`` dump."""
+    import json as _json
+
+    from repro.obs.traceio import format_span_tree
+    from repro.service.flightrec import FLIGHT_SCHEMA
+
+    with open(path) as fh:
+        dump = _json.load(fh)
+    if dump.get("schema") != FLIGHT_SCHEMA:
+        print(
+            f"{path}: schema is {dump.get('schema')!r}, expected {FLIGHT_SCHEMA!r}",
+            file=sys.stderr,
+        )
+        return 1
+    requests = dump.get("requests", [])
+    print(
+        f"{len(requests)} recorded requests "
+        f"({dump.get('recorded', 0)} total, {dump.get('dropped', 0)} evicted, "
+        f"capacity {dump.get('capacity', 0)})"
+    )
+    if not requests:
+        return 0
+    print()
+    rows = [
+        [
+            r.get("trace_id"), r.get("status"), r.get("cache") or "-",
+            r.get("algorithm") or "-", r.get("batch_occupancy") or "-",
+            r.get("retries", 0),
+            "-" if r.get("duration_us") is None else r["duration_us"] / 1000.0,
+            r.get("error") or "-",
+        ]
+        for r in requests
+    ]
+    print(format_table(
+        ["trace", "status", "cache", "algo", "batch", "retries", "ms", "error"],
+        rows, float_fmt="{:.2f}",
+    ))
+    timed = [r for r in requests if r.get("duration_us") is not None]
+    timed.sort(key=lambda r: r["duration_us"], reverse=True)
+    for r in timed[: args.slowest]:
+        print()
+        print(
+            f"trace {r.get('trace_id')}: status {r.get('status')}, "
+            f"{r['duration_us'] / 1000.0:.2f} ms"
+        )
+        if r.get("spans"):
+            print("\n".join(format_span_tree(r["spans"])))
+    return 0
+
+
+def _trace_spans_report(trace, args) -> int:
+    """Summarize a span-kind trace file (service request flame data)."""
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.traceio import format_span_tree, spans_by_trace
+
+    groups = spans_by_trace(trace)
+    header = trace.header
+    unit = "us" if header.get("clock") == "wall" else ""
+    print(
+        f"{len(trace.events)} spans across {len(groups)} traces "
+        f"(clock {header.get('clock')}, buffer {header.get('buffer')})"
+    )
+
+    def root_duration(spans) -> int:
+        return max(
+            (s["dur"] for s in spans if s.get("parent_span") == -1), default=0
+        )
+
+    slowest_traces = sorted(
+        groups.items(), key=lambda kv: root_duration(kv[1]), reverse=True
+    )
+    for trace_id, spans in slowest_traces[: args.slowest]:
+        print()
+        print(f"trace {trace_id}: {len(spans)} spans")
+        print("\n".join(format_span_tree(spans, unit=unit)))
+
+    if args.chrome:
+        write_chrome_trace(trace.header, trace.events, args.chrome)
+        print(f"\nchrome trace -> {args.chrome}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.exporters import write_chrome_trace
     from repro.obs.traceio import (
@@ -234,17 +317,34 @@ def _cmd_trace(args) -> int:
         read_trace,
         slowest,
         summarize,
+        trace_file_kind,
         validate_trace,
     )
 
-    trace = read_trace(args.trace)
+    if args.trace[0] == "serve-report":
+        if len(args.trace) != 2:
+            print(
+                "usage: python -m repro trace serve-report DUMP.json",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_serve_report(args.trace[1], args)
+    if len(args.trace) != 1:
+        print("trace takes one JSONL path", file=sys.stderr)
+        return 2
+    trace_path = args.trace[0]
+
+    trace = read_trace(trace_path)
     if args.validate:
         errors = validate_trace(trace)
         if errors:
             for err in errors:
                 print(f"invalid: {err}", file=sys.stderr)
             return 1
-        print(f"{args.trace}: valid ({len(trace.events)} events)")
+        print(f"{trace_path}: valid ({len(trace.events)} events)")
+
+    if trace_file_kind(trace) == "spans":
+        return _trace_spans_report(trace, args)
 
     packets = summarize(trace)
     if args.app is not None:
@@ -310,6 +410,7 @@ def _cmd_serve(args) -> int:
         args.host,
         args.port,
         ready=ready,
+        trace_out=args.trace_out,
         cache_size=args.cache_size,
         batch_window=args.batch_window,
         max_batch=args.max_batch,
@@ -317,6 +418,10 @@ def _cmd_serve(args) -> int:
         task_timeout=args.task_timeout,
         retries=args.retries,
         failure_budget=args.failure_budget,
+        trace=args.trace or args.trace_out is not None,
+        trace_clock=args.trace_clock,
+        trace_buffer=args.trace_buffer,
+        flight_recorder=args.flight_recorder,
     )
 
 
@@ -424,12 +529,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_trace = sub.add_parser(
-        "trace", help="inspect a trace JSONL written by simulate --trace-out"
+        "trace",
+        help="inspect a trace JSONL (packet or span kind), or run "
+        "'trace serve-report DUMP.json' on a /debug/requests dump",
     )
-    p_trace.add_argument("trace", help="trace JSONL path")
+    p_trace.add_argument(
+        "trace", nargs="+",
+        help="trace JSONL path, or 'serve-report' followed by a "
+        "/debug/requests JSON dump",
+    )
     p_trace.add_argument(
         "--slowest", type=int, default=5, metavar="N",
-        help="print per-hop breakdowns of the N slowest packets (default 5)",
+        help="print per-hop/per-span breakdowns of the N slowest "
+        "packets/requests (default 5)",
     )
     p_trace.add_argument(
         "--app", type=int, help="restrict to one application id"
@@ -486,6 +598,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-budget", type=int, default=None,
         help="total failed attempts tolerated before the service answers "
         "503 (default REPRO_FAILURE_BUDGET or unlimited)",
+    )
+    p_serve.add_argument(
+        "--trace", action="store_true",
+        help="enable request-scoped span tracing and the flight recorder "
+        "(off by default; the untraced daemon's responses are unchanged)",
+    )
+    p_serve.add_argument(
+        "--trace-clock", choices=["wall", "logical"], default="wall",
+        help="span timestamps: wall microseconds, or a deterministic "
+        "logical tick (byte-identical output for the same request stream)",
+    )
+    p_serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the span trace JSONL here on shutdown (implies --trace)",
+    )
+    p_serve.add_argument(
+        "--trace-buffer", type=int, default=65_536,
+        help="span ring-buffer capacity (default 65536 events)",
+    )
+    p_serve.add_argument(
+        "--flight-recorder", type=int, default=64, metavar="N",
+        help="keep forensic records of the last N requests for "
+        "/debug/requests (default 64)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

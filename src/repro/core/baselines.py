@@ -30,6 +30,7 @@ from repro.core.hungarian import solve_assignment
 from repro.core.metrics import MappingEvaluation, evaluate_mapping
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
+from repro.obs import reqtrace
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -178,28 +179,34 @@ def monte_carlo(
     best_perm = None
     best_value = np.inf
     done = 0
-    while done < n_samples:
-        b = min(batch, n_samples - done)
-        perms = _permutation_batch(rng, b, instance.n)
-        if obj in (_objective_max_apl, _objective_dev_apl, _objective_g_apl):
-            max_apls, dev_apls, g_apls = _batched_metrics(instance, perms)
-            values = {
-                _objective_max_apl: max_apls,
-                _objective_dev_apl: dev_apls,
-                _objective_g_apl: g_apls,
-            }[obj]
-        else:  # arbitrary callable: evaluate one by one
-            values = np.array(
-                [
-                    obj(evaluate_mapping(instance.workload, p, instance.tc, instance.tm))
-                    for p in perms
-                ]
-            )
-        idx = int(np.argmin(values))
-        if values[idx] < best_value:
-            best_value = float(values[idx])
-            best_perm = perms[idx].copy()
-        done += b
+    with reqtrace.span("mc", samples=n_samples):
+        while done < n_samples:
+            b = min(batch, n_samples - done)
+            perms = _permutation_batch(rng, b, instance.n)
+            if obj in (_objective_max_apl, _objective_dev_apl, _objective_g_apl):
+                max_apls, dev_apls, g_apls = _batched_metrics(instance, perms)
+                values = {
+                    _objective_max_apl: max_apls,
+                    _objective_dev_apl: dev_apls,
+                    _objective_g_apl: g_apls,
+                }[obj]
+            else:  # arbitrary callable: evaluate one by one
+                values = np.array(
+                    [
+                        obj(evaluate_mapping(instance.workload, p, instance.tc, instance.tm))
+                        for p in perms
+                    ]
+                )
+            idx = int(np.argmin(values))
+            if values[idx] < best_value:
+                best_value = float(values[idx])
+                best_perm = perms[idx].copy()
+            done += b
+    if reqtrace.is_active():
+        reqtrace.count(
+            "solver_iterations_total", n_samples,
+            "iterations / samples / generations run per solver", solver="mc",
+        )
     elapsed = time.perf_counter() - t0
     mapping = Mapping(best_perm)
     return MappingResult(
@@ -303,56 +310,63 @@ def simulated_annealing(
     total_accepted = 0
     iters_per_restart = max(1, n_iters // restarts)
 
-    for _ in range(restarts):
-        perm = rng.permutation(instance.n).astype(np.int64)
-        state = _AnnealState(instance, perm)
-        current = state.max_apl()
+    with reqtrace.span("sa", iters=n_iters, restarts=restarts) as sa_span:
+        for _ in range(restarts):
+            perm = rng.permutation(instance.n).astype(np.int64)
+            state = _AnnealState(instance, perm)
+            current = state.max_apl()
 
-        if initial_temperature is None:
-            # Sample random moves to scale the temperature to typical deltas.
-            uphill = []
-            for _ in range(64):
-                a, b = rng.integers(instance.n, size=2)
-                if a == b:
-                    continue
-                value, _ = state.propose_swap(int(a), int(b))
-                if value > current:
-                    uphill.append(value - current)
-            t_start = float(np.mean(uphill)) if uphill else 1.0
-            t_start = max(t_start, 1e-9)
-        else:
-            t_start = initial_temperature
-        cooling = final_temperature_fraction ** (1.0 / iters_per_restart)
-
-        temperature = t_start
-        if current < best_value:
-            best_value = current
-            best_perm = state.perm.copy()
-        for _ in range(iters_per_restart):
-            if move == "swap":
-                a, b = rng.integers(instance.n, size=2)
-                if a == b:
-                    temperature *= cooling
-                    continue
-                a, b = int(a), int(b)
-                value, deltas = state.propose_swap(a, b)
-                apply = lambda: state.apply_swap(a, b, deltas)
+            if initial_temperature is None:
+                # Sample random moves to scale the temperature to typical deltas.
+                uphill = []
+                for _ in range(64):
+                    a, b = rng.integers(instance.n, size=2)
+                    if a == b:
+                        continue
+                    value, _ = state.propose_swap(int(a), int(b))
+                    if value > current:
+                        uphill.append(value - current)
+                t_start = float(np.mean(uphill)) if uphill else 1.0
+                t_start = max(t_start, 1e-9)
             else:
-                picks = rng.choice(instance.n, size=2 * cluster_size, replace=False)
-                group_a, group_b = picks[:cluster_size], picks[cluster_size:]
-                value, deltas = state.propose_cluster(group_a, group_b)
-                apply = lambda: state.apply_cluster(group_a, group_b, deltas)
-            accept = value <= current or rng.random() < np.exp(
-                -(value - current) / temperature
-            )
-            if accept:
-                apply()
-                current = value
-                total_accepted += 1
-                if current < best_value:
-                    best_value = current
-                    best_perm = state.perm.copy()
-            temperature *= cooling
+                t_start = initial_temperature
+            cooling = final_temperature_fraction ** (1.0 / iters_per_restart)
+
+            temperature = t_start
+            if current < best_value:
+                best_value = current
+                best_perm = state.perm.copy()
+            for _ in range(iters_per_restart):
+                if move == "swap":
+                    a, b = rng.integers(instance.n, size=2)
+                    if a == b:
+                        temperature *= cooling
+                        continue
+                    a, b = int(a), int(b)
+                    value, deltas = state.propose_swap(a, b)
+                    apply = lambda: state.apply_swap(a, b, deltas)
+                else:
+                    picks = rng.choice(instance.n, size=2 * cluster_size, replace=False)
+                    group_a, group_b = picks[:cluster_size], picks[cluster_size:]
+                    value, deltas = state.propose_cluster(group_a, group_b)
+                    apply = lambda: state.apply_cluster(group_a, group_b, deltas)
+                accept = value <= current or rng.random() < np.exp(
+                    -(value - current) / temperature
+                )
+                if accept:
+                    apply()
+                    current = value
+                    total_accepted += 1
+                    if current < best_value:
+                        best_value = current
+                        best_perm = state.perm.copy()
+                temperature *= cooling
+        sa_span.set(accepted=total_accepted)
+    if reqtrace.is_active():
+        reqtrace.count(
+            "solver_iterations_total", restarts * iters_per_restart,
+            "iterations / samples / generations run per solver", solver="sa",
+        )
 
     elapsed = time.perf_counter() - t0
     mapping = Mapping(best_perm)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.baselines import _batched_metrics
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
+from repro.obs import reqtrace
 from repro.utils.rng import as_rng
 
 __all__ = ["GAConfig", "genetic_algorithm"]
@@ -88,29 +89,37 @@ def genetic_algorithm(
     best_perm = population[int(np.argmin(fitness))].copy()
     best_value = float(fitness.min())
 
-    for _ in range(config.generations):
-        order = np.argsort(fitness, kind="stable")
-        next_pop = [population[i].copy() for i in order[: config.elite]]
-        while len(next_pop) < config.population:
-            # Tournament selection of two parents.
-            parents = []
-            for _ in range(2):
-                contenders = rng.choice(config.population, size=config.tournament)
-                parents.append(population[contenders[np.argmin(fitness[contenders])]])
-            if rng.random() < config.crossover_rate:
-                child = _pmx(parents[0], parents[1], rng)
-            else:
-                child = parents[0].copy()
-            if rng.random() < config.mutation_rate:
-                a, b = rng.choice(n, size=2, replace=False)
-                child[a], child[b] = child[b], child[a]
-            next_pop.append(child)
-        population = np.array(next_pop)
-        fitness, _, _ = _batched_metrics(instance, population)
-        gen_best = int(np.argmin(fitness))
-        if fitness[gen_best] < best_value:
-            best_value = float(fitness[gen_best])
-            best_perm = population[gen_best].copy()
+    with reqtrace.span(
+        "ga", generations=config.generations, population=config.population
+    ):
+        for _ in range(config.generations):
+            order = np.argsort(fitness, kind="stable")
+            next_pop = [population[i].copy() for i in order[: config.elite]]
+            while len(next_pop) < config.population:
+                # Tournament selection of two parents.
+                parents = []
+                for _ in range(2):
+                    contenders = rng.choice(config.population, size=config.tournament)
+                    parents.append(population[contenders[np.argmin(fitness[contenders])]])
+                if rng.random() < config.crossover_rate:
+                    child = _pmx(parents[0], parents[1], rng)
+                else:
+                    child = parents[0].copy()
+                if rng.random() < config.mutation_rate:
+                    a, b = rng.choice(n, size=2, replace=False)
+                    child[a], child[b] = child[b], child[a]
+                next_pop.append(child)
+            population = np.array(next_pop)
+            fitness, _, _ = _batched_metrics(instance, population)
+            gen_best = int(np.argmin(fitness))
+            if fitness[gen_best] < best_value:
+                best_value = float(fitness[gen_best])
+                best_perm = population[gen_best].copy()
+    if reqtrace.is_active():
+        reqtrace.count(
+            "solver_iterations_total", config.generations,
+            "iterations / samples / generations run per solver", solver="ga",
+        )
 
     elapsed = time.perf_counter() - t0
     mapping = Mapping(best_perm)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import reqtrace
+
 __all__ = ["AssignmentResult", "solve_assignment"]
 
 
@@ -64,6 +66,11 @@ def solve_assignment(cost: np.ndarray) -> AssignmentResult:
     if not np.all(np.isfinite(cost)):
         raise ValueError("cost matrix must be finite")
 
+    with reqtrace.span("hungarian", rows=n, cols=m):
+        return _solve(cost, n, m)
+
+
+def _solve(cost: np.ndarray, n: int, m: int) -> AssignmentResult:
     col_of_row = np.full(n, -1, dtype=np.int64)
     row_of_col = np.full(m, -1, dtype=np.int64)
     u = np.zeros(n)  # row potentials

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hungarian import solve_assignment
+from repro.obs import reqtrace
 
 __all__ = ["SAMResult", "solve_sam", "assign_app_to_tiles"]
 
@@ -64,8 +65,9 @@ def solve_sam(
         raise ValueError("reserved tiles must be distinct")
 
     # Eq. 13 restricted to the reserved tiles.
-    cost = c[:, None] * tc[tiles][None, :] + m[:, None] * tm[tiles][None, :]
-    result = solve_assignment(cost)
+    with reqtrace.span("sam.assign", threads=int(tiles.size)):
+        cost = c[:, None] * tc[tiles][None, :] + m[:, None] * tm[tiles][None, :]
+        result = solve_assignment(cost)
 
     tile_of_thread = tiles[result.col_of_row]
     volume = float(c.sum() + m.sum())

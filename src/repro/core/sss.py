@@ -33,6 +33,7 @@ from repro.core.metrics import evaluate_mapping
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
 from repro.core.sam import assign_app_to_tiles
+from repro.obs import reqtrace
 from repro.utils import profiling
 from repro.utils.rng import as_rng
 
@@ -189,6 +190,12 @@ class _SwapState:
         self.numerators = np.add.reduceat(per_thread, wl.boundaries[:-1])
         self.perms = _window_perms(window)
         self._safe_volumes = np.where(self.volumes > 0, self.volumes, 1.0)
+        #: Swap-acceptance telemetry: windows evaluated / windows where a
+        #: non-identity permutation won.  Plain int bumps — the counters
+        #: never touch the RNG or the mapping, so the disabled-tracing
+        #: path stays bit-identical.
+        self.windows_tried = 0
+        self.windows_accepted = 0
 
     def current_max_apl(self) -> float:
         apls = self.numerators / self._safe_volumes
@@ -217,8 +224,10 @@ class _SwapState:
         candidate_apls = (self.numerators[None, :] + app_delta) / self._safe_volumes
         max_apls = candidate_apls[:, self.active].max(axis=1)
         best = int(np.argmin(max_apls))
+        self.windows_tried += 1
         if best == 0:  # identity: nothing to do
             return
+        self.windows_accepted += 1
         chosen = self.perms[best]
         new_tiles = tiles[chosen]
         self.perm[threads] = new_tiles
@@ -237,8 +246,12 @@ def _swap_phase(
     perm: np.ndarray,
     config: SSSConfig,
     tc_order: np.ndarray | None = None,
-) -> np.ndarray:
-    """Step 3's sliding-window sweep over the sorted tile list."""
+) -> tuple[np.ndarray, int, int]:
+    """Step 3's sliding-window sweep over the sorted tile list.
+
+    Returns the new permutation plus the swap-acceptance counters
+    (windows evaluated, windows where a non-identity permutation won).
+    """
     n = instance.n
     w = config.window
     max_step = config.max_step if config.max_step is not None else max(1, n // w)
@@ -251,7 +264,7 @@ def _swap_phase(
                 positions = start + step * np.arange(w)
                 state.try_window(sorted_tiles[positions])
         state.recompute()
-    return state.perm
+    return state.perm, state.windows_tried, state.windows_accepted
 
 
 def sort_select_swap(
@@ -274,41 +287,60 @@ def sort_select_swap(
     config = config or SSSConfig()
     rng = as_rng(seed)
     if tc_order is None:
-        tc_order = _tc_sorted_tiles(instance)
+        with reqtrace.span("sss.sort"):
+            tc_order = _tc_sorted_tiles(instance)
     phase_seconds: dict[str, float] = {}
+    windows_tried = windows_accepted = 0
     t0 = time.perf_counter()
 
-    perm = _select_phase(instance, config, rng, tc_order)
+    with reqtrace.span("sss.select"):
+        perm = _select_phase(instance, config, rng, tc_order)
     phase_seconds["select"] = time.perf_counter() - t0
     select_eval = evaluate_mapping(
         instance.workload, perm, instance.tc, instance.tm
     )
 
     t = time.perf_counter()
-    if config.swap_passes > 0:
-        perm = _swap_phase(instance, perm, config, tc_order)
+    with reqtrace.span("sss.swap") as swap_span:
+        if config.swap_passes > 0:
+            perm, windows_tried, windows_accepted = _swap_phase(
+                instance, perm, config, tc_order
+            )
+        swap_span.set(windows=windows_tried, accepted=windows_accepted)
     phase_seconds["swap"] = time.perf_counter() - t
     swap_eval = evaluate_mapping(instance.workload, perm, instance.tc, instance.tm)
 
     t = time.perf_counter()
-    if config.final_polish:
-        wl = instance.workload
-        for app_index in range(wl.n_apps):
-            sl = wl.thread_slice(app_index)
-            assign_app_to_tiles(
-                perm, sl, wl.cache_rates, wl.mem_rates,
-                perm[sl].copy(), instance.tc, instance.tm,
-            )
-        if config.rebalance_after_polish and config.swap_passes > 0:
-            perm = _swap_phase(
-                instance, perm, replace(config, swap_passes=1), tc_order
-            )
+    with reqtrace.span("sss.polish"):
+        if config.final_polish:
+            wl = instance.workload
+            for app_index in range(wl.n_apps):
+                sl = wl.thread_slice(app_index)
+                assign_app_to_tiles(
+                    perm, sl, wl.cache_rates, wl.mem_rates,
+                    perm[sl].copy(), instance.tc, instance.tm,
+                )
+            if config.rebalance_after_polish and config.swap_passes > 0:
+                perm, tried, accepted = _swap_phase(
+                    instance, perm, replace(config, swap_passes=1), tc_order
+                )
+                windows_tried += tried
+                windows_accepted += accepted
     phase_seconds["polish"] = time.perf_counter() - t
     elapsed = time.perf_counter() - t0
 
     if profiling.profiling_enabled():
         for name, seconds in phase_seconds.items():
             profiling.PROFILER.record(f"sss.{name}", seconds)
+    if reqtrace.is_active():
+        reqtrace.count(
+            "sss_swap_windows_total", windows_accepted,
+            "swap windows where a non-identity permutation won", outcome="accepted",
+        )
+        reqtrace.count(
+            "sss_swap_windows_total", windows_tried - windows_accepted,
+            "swap windows where a non-identity permutation won", outcome="rejected",
+        )
 
     mapping = Mapping(perm)
     return MappingResult(
@@ -321,6 +353,7 @@ def sort_select_swap(
             "select_eval": select_eval,
             "swap_eval": swap_eval,
             "phase_seconds": phase_seconds,
+            "swap_windows": {"tried": windows_tried, "accepted": windows_accepted},
         },
     )
 

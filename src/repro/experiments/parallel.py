@@ -59,6 +59,7 @@ from repro.experiments.resilience import (
     backoff_delays,
     resolve_backoff,
 )
+from repro.obs import reqtrace
 from repro.utils import profiling
 from repro.utils.rng import stable_seed
 
@@ -345,7 +346,12 @@ def parallel_map(
         """Reference in-process execution of one cell (also the degraded path)."""
         while True:
             try:
-                value = fn(cells[index])
+                # In-process, so an active trace context flows straight
+                # into the cell; pooled cells run in other processes,
+                # where spans cannot propagate (covered by the parent's
+                # "parallel.map" span instead).
+                with reqtrace.span("parallel.cell", index=index):
+                    value = fn(cells[index])
             except Exception as exc:
                 if charge(index, exc):
                     continue

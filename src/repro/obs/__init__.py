@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     latency_buckets,
 )
+from repro.obs.reqtrace import SpanTracer, TraceContext
 from repro.obs.sampler import MetricsSampler, SamplerConfig
 from repro.obs.tracing import PacketTracer, TraceConfig
 
@@ -52,6 +53,8 @@ __all__ = [
     "SamplerConfig",
     "PacketTracer",
     "TraceConfig",
+    "SpanTracer",
+    "TraceContext",
     "ObservabilityConfig",
     "Observability",
     "chrome_trace_events",

@@ -57,17 +57,25 @@ def write_trace_jsonl(tracer, path: str | Path) -> Path:
 
 _PID_ROUTERS = 1
 _PID_APPS = 2
+_PID_SERVE = 1
 
 
 def chrome_trace_events(header: dict, events) -> list[dict]:
     """Convert trace events (dicts) to Chrome trace-event objects.
 
-    Spans are reconstructed per packet: the app track gets one complete
-    ("X") event covering creation to ejection; each router visited gets
-    one complete event covering the packet's residency there (arrival =
-    previous hop's departure + link latency; the first residency starts
-    at submission).  Fault events render as instants ("i").
+    Packet traces (``kind: "packets"``) are reconstructed per packet:
+    the app track gets one complete ("X") event covering creation to
+    ejection; each router visited gets one complete event covering the
+    packet's residency there (arrival = previous hop's departure + link
+    latency; the first residency starts at submission).  Fault events
+    render as instants ("i").
+
+    Span traces (``kind: "spans"``) get one "X" event per span, one
+    Perfetto thread per request (tid = trace id), so a service burst
+    opens as a flame chart with request -> solver -> engine nesting.
     """
+    if header.get("kind") == "spans":
+        return _chrome_span_events(events)
     link_latency = int(header.get("link_latency", 1))
     out: list[dict] = []
     packets: dict[int, dict] = {}
@@ -202,6 +210,51 @@ def chrome_trace_events(header: dict, events) -> list[dict]:
     return meta + out
 
 
+def _chrome_span_events(events) -> list[dict]:
+    """Request-trace spans as complete events, one thread per request."""
+    out: list[dict] = []
+    traces_seen: set[int] = set()
+    for event in events:
+        if event.get("ev") != "span":
+            continue
+        trace_id = event["trace_id"]
+        traces_seen.add(trace_id)
+        args = {"span_id": event["span_id"], "parent_span": event["parent_span"]}
+        args.update(event.get("attrs") or {})
+        out.append(
+            {
+                "ph": "X",
+                "name": event["name"],
+                "cat": "span",
+                "ts": event["t0"],
+                "dur": max(event["dur"], 0),
+                "pid": _PID_SERVE,
+                "tid": trace_id,
+                "args": args,
+            }
+        )
+    meta: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_SERVE,
+            "tid": 0,
+            "args": {"name": "serve"},
+        }
+    ]
+    for trace_id in sorted(traces_seen):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_SERVE,
+                "tid": trace_id,
+                "args": {"name": f"request {trace_id}"},
+            }
+        )
+    return meta + out
+
+
 def _next_tile(header: dict, tile: int, port_name: str) -> int:
     cols = int(header.get("cols", 0))
     if cols <= 0:
@@ -236,11 +289,27 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value) -> str:
+    # Per the exposition-format spec: backslash, double quote and
+    # newline must be escaped inside label values.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline (quotes are legal there).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels, extra: tuple = ()) -> str:
     items = tuple(labels) + tuple(extra)
     if not items:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+    return "{" + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items) + "}"
 
 
 def render_prometheus(registry) -> str:
@@ -252,7 +321,7 @@ def render_prometheus(registry) -> str:
             seen_families.add(metric.name)
             help_text = registry.help_for(metric.name)
             if help_text:
-                lines.append(f"# HELP {metric.name} {help_text}")
+                lines.append(f"# HELP {metric.name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if metric.kind == "histogram":
             cumulative = 0

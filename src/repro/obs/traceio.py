@@ -20,16 +20,25 @@ __all__ = [
     "TraceFile",
     "read_trace",
     "validate_trace",
+    "trace_file_kind",
     "PacketTrace",
     "HopRecord",
     "summarize",
     "slowest",
     "per_app_percentiles",
     "format_packet",
+    "spans_by_trace",
+    "format_span_tree",
 ]
 
-#: Fields whose values are strings; every other schema field is an int.
-_STRING_FIELDS = frozenset({"cls", "port", "blocked"})
+#: Fields whose values are strings; every other schema field is an int
+#: (except ``attrs``, a free-form JSON object on span events).
+_STRING_FIELDS = frozenset({"cls", "port", "blocked", "name"})
+_DICT_FIELDS = frozenset({"attrs"})
+
+#: Schema versions this reader understands (v1 = packet traces without
+#: the ``kind`` header field; v2 adds ``kind`` and span events).
+_KNOWN_VERSIONS = frozenset({1, TRACE_SCHEMA_VERSION})
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,11 @@ def read_trace(path: str | Path) -> TraceFile:
     return TraceFile(header=header, events=events, footer=footer, path=path)
 
 
+def trace_file_kind(trace: TraceFile) -> str:
+    """``"packets"`` or ``"spans"`` (v1 headers carry no ``kind`` field)."""
+    return trace.header.get("kind", "packets")
+
+
 def validate_trace(trace: TraceFile | str | Path) -> list[str]:
     """Schema-check a trace; returns a list of problems (empty = valid)."""
     if not isinstance(trace, TraceFile):
@@ -76,18 +90,32 @@ def validate_trace(trace: TraceFile | str | Path) -> list[str]:
     header = trace.header
     if header.get("schema") != TRACE_SCHEMA:
         errors.append(f"header schema is {header.get('schema')!r}, expected {TRACE_SCHEMA!r}")
-    if header.get("version") != TRACE_SCHEMA_VERSION:
+    if header.get("version") not in _KNOWN_VERSIONS:
         errors.append(
-            f"header version is {header.get('version')!r}, expected {TRACE_SCHEMA_VERSION}"
+            f"header version is {header.get('version')!r}, "
+            f"expected one of {sorted(_KNOWN_VERSIONS)}"
         )
-    for key in ("n_tiles", "link_latency", "trace_every"):
-        if not isinstance(header.get(key), int):
-            errors.append(f"header field {key!r} missing or not an integer")
+    trace_kind = trace_file_kind(trace)
+    if trace_kind == "spans":
+        if header.get("version") == 1:
+            errors.append("span traces require schema version >= 2")
+        for key in ("clock", "buffer"):
+            if key not in header:
+                errors.append(f"header field {key!r} missing")
+    elif trace_kind == "packets":
+        for key in ("n_tiles", "link_latency", "trace_every"):
+            if not isinstance(header.get(key), int):
+                errors.append(f"header field {key!r} missing or not an integer")
+    else:
+        errors.append(f"header kind is {header.get('kind')!r}, expected 'packets' or 'spans'")
     last_t = None
     for i, event in enumerate(trace.events):
         kind = event.get("ev")
         if kind not in EVENT_FIELDS:
             errors.append(f"event {i}: unknown kind {kind!r}")
+            continue
+        if (kind == "span") != (trace_kind == "spans"):
+            errors.append(f"event {i}: kind {kind!r} not valid in a {trace_kind!r} trace")
             continue
         t = event.get("t")
         if not isinstance(t, int):
@@ -103,6 +131,9 @@ def validate_trace(trace: TraceFile | str | Path) -> list[str]:
             if name in _STRING_FIELDS:
                 if not isinstance(value, str):
                     errors.append(f"event {i} ({kind}): field {name!r} must be a string")
+            elif name in _DICT_FIELDS:
+                if not isinstance(value, dict):
+                    errors.append(f"event {i} ({kind}): field {name!r} must be an object")
             elif not isinstance(value, int):
                 errors.append(f"event {i} ({kind}): field {name!r} must be an integer")
         if len(errors) > 50:
@@ -111,7 +142,12 @@ def validate_trace(trace: TraceFile | str | Path) -> list[str]:
     if not trace.footer:
         errors.append("missing 'end' footer record")
     else:
-        for key in ("events_total", "events_dropped", "packets_traced"):
+        footer_keys = (
+            ("events_total", "events_dropped", "spans_total", "traces_total")
+            if trace_kind == "spans"
+            else ("events_total", "events_dropped", "packets_traced")
+        )
+        for key in footer_keys:
             if not isinstance(trace.footer.get(key), int):
                 errors.append(f"footer field {key!r} missing or not an integer")
     return errors
@@ -270,6 +306,47 @@ def per_app_percentiles(packets: list[PacketTrace]) -> dict[int, dict[str, float
             "max": float(latencies[-1]),
         }
     return out
+
+
+# ----------------------------------------------------------------------
+# Span traces (schema v2, kind "spans")
+# ----------------------------------------------------------------------
+
+
+def spans_by_trace(trace: TraceFile) -> dict[int, list[dict]]:
+    """Group span events by trace id, each group ordered by span id."""
+    out: dict[int, list[dict]] = {}
+    for event in trace.events:
+        if event.get("ev") == "span":
+            out.setdefault(event["trace_id"], []).append(event)
+    for spans in out.values():
+        spans.sort(key=lambda s: s["span_id"])
+    return out
+
+
+def format_span_tree(spans: list[dict], unit: str = "") -> list[str]:
+    """Indented parent->child rendering of one trace's spans.
+
+    Works on span events from a trace file and on the span lists a
+    flight-recorder dump stores (same fields, minus ``trace_id``).
+    """
+    children: dict[int, list[dict]] = {}
+    for s in spans:
+        children.setdefault(s["parent_span"], []).append(s)
+    lines: list[str] = []
+
+    def walk(parent: int, depth: int) -> None:
+        for s in sorted(children.get(parent, ()), key=lambda s: s["span_id"]):
+            attrs = s.get("attrs") or {}
+            detail = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            line = f"{'  ' * depth}{s['name']}  t0={s['t0']} dur={s['dur']}{unit}"
+            if detail:
+                line += f"  [{detail}]"
+            lines.append(line)
+            walk(s["span_id"], depth + 1)
+
+    walk(-1, 0)
+    return lines
 
 
 def format_packet(packet: PacketTrace) -> str:

@@ -35,11 +35,15 @@ from dataclasses import dataclass
 __all__ = ["TraceConfig", "PacketTracer", "TRACE_SCHEMA", "TRACE_SCHEMA_VERSION"]
 
 TRACE_SCHEMA = "repro-noc-trace"
-TRACE_SCHEMA_VERSION = 1
+#: v2 adds a ``kind`` header field ("packets" | "spans") and the "span"
+#: event emitted by :class:`repro.obs.reqtrace.SpanTracer`; v1 packet
+#: traces (no ``kind``) are still readable.
+TRACE_SCHEMA_VERSION = 2
 
 #: Field names per event kind, in emission order (shared with the JSONL
 #: schema check in :mod:`repro.obs.traceio`).  Every event additionally
-#: carries ``ev`` (the kind) and ``t`` (the cycle).
+#: carries ``ev`` (the kind) and ``t`` (the cycle — for spans, the end
+#: time in the tracer's clock units).
 EVENT_FIELDS = {
     "submit": ("id", "src", "dst", "app", "cls", "len"),
     "vc_alloc": ("id", "tile", "port", "vc"),
@@ -51,6 +55,8 @@ EVENT_FIELDS = {
     "reroute": ("tile", "dst", "blocked", "port"),
     "link_down": ("tile", "port"),
     "link_up": ("tile", "port"),
+    # request-tracing span (kind "spans"; see repro.obs.reqtrace)
+    "span": ("trace_id", "span_id", "parent_span", "name", "t0", "dur", "attrs"),
 }
 
 
@@ -117,6 +123,7 @@ class PacketTracer:
         return {
             "schema": TRACE_SCHEMA,
             "version": TRACE_SCHEMA_VERSION,
+            "kind": "packets",
             "trace_every": self._every,
             "trace_apps": sorted(self._apps) if self._apps is not None else None,
             "buffer": self.config.buffer,

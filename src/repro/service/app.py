@@ -51,10 +51,13 @@ from repro.experiments.resilience import (
     config_fingerprint,
     json_safe,
 )
+from repro.obs import reqtrace
 from repro.obs.metrics import MetricsRegistry, SECONDS_BUCKETS
+from repro.obs.reqtrace import SpanTracer
 from repro.service.batcher import SimulationBatcher
 from repro.service.cache import LRUCache, ModelMemo
 from repro.service.canonical import CanonicalRequest, canonicalize
+from repro.service.flightrec import FlightRecorder
 from repro.service.workers import WorkerPool
 
 __all__ = ["MappingService", "serve", "run_service"]
@@ -125,9 +128,22 @@ class MappingService:
         retries: int | None = None,
         failure_budget: int | None = None,
         batch_runner=None,
+        trace: bool = False,
+        trace_clock: str = "wall",
+        trace_buffer: int = 65_536,
+        flight_recorder: int = 64,
     ) -> None:
         self.registry = MetricsRegistry()
         self.report = RunReport()
+        # Off by default: with tracer=None every instrumentation site is a
+        # single ContextVar read, so the served bytes pin bit-identical to
+        # the untraced daemon.
+        self.tracer = (
+            SpanTracer(buffer=trace_buffer, clock=trace_clock, registry=self.registry)
+            if trace
+            else None
+        )
+        self.flightrec = FlightRecorder(flight_recorder) if trace else None
         self.cache = LRUCache(cache_size, registry=self.registry)
         self.models = ModelMemo(model_memo_size, registry=self.registry)
         self.pool = WorkerPool(
@@ -248,7 +264,7 @@ class MappingService:
 
     # -- single-flight cache -----------------------------------------------
 
-    async def _cached(self, key, compute):
+    async def _cached(self, key, compute, stage: str = "solve"):
         """In-flight coalescing, then LRU lookup, then compute-and-fill.
 
         The in-flight check comes first so a coalesced duplicate is
@@ -259,8 +275,11 @@ class MappingService:
         if task is not None:
             self._m_coalesced.inc()
             self._update_hit_ratio()
-            return await asyncio.shield(task), "coalesced"
-        entry = self.cache.get(key)
+            with reqtrace.span("cache.coalesce", stage=stage):
+                return await asyncio.shield(task), "coalesced"
+        with reqtrace.span("cache.lookup", stage=stage) as lookup:
+            entry = self.cache.get(key)
+            lookup.set(outcome="hit" if entry is not None else "miss")
         if entry is not None:
             self._update_hit_ratio()
             return entry, "hit"
@@ -270,6 +289,9 @@ class MappingService:
             self.cache.put(key, entry)
             return entry
 
+        # The fill task is created with the *request* context (create_task
+        # copies it), so solver spans parent under this request's root —
+        # deliberately outside any short-lived child span above.
         task = asyncio.get_running_loop().create_task(fill())
         self._inflight[key] = task
 
@@ -291,8 +313,10 @@ class MappingService:
 
     def _solve_sync(self, canon: CanonicalRequest, apps_doc, algorithm: str, want_bounds: bool) -> dict:
         """Blocking solve in request labels; returns the canonical entry."""
-        instance = self._request_instance(canon, apps_doc)
-        result = ALGORITHMS[algorithm](instance)
+        with reqtrace.span("worker.solve", algorithm=algorithm) as solve_span:
+            instance = self._request_instance(canon, apps_doc)
+            result = ALGORITHMS[algorithm](instance)
+            solve_span.set(max_apl=result.evaluation.max_apl)
         perm = result.mapping.perm
         n_real = canon.problem.n_threads
         apls = [
@@ -311,13 +335,23 @@ class MappingService:
             "bounds": None,
         }
         if want_bounds:
-            lb = max_apl_lower_bound(instance)
+            with reqtrace.span("worker.bounds"):
+                lb = max_apl_lower_bound(instance)
+            gap = lb.gap(result.evaluation.max_apl)
             entry["bounds"] = {
                 "value": lb.value,
                 "mean_bound": lb.mean_bound,
                 "per_app_bound": lb.per_app_bound,
-                "gap": lb.gap(result.evaluation.max_apl),
+                "gap": gap,
             }
+            # Achieved-vs-certified gap distribution, per algorithm.
+            reqtrace.observe(
+                "solver_bound_gap",
+                gap,
+                bounds=(0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+                help="relative gap between achieved max-APL and certified lower bound",
+                algorithm=algorithm,
+            )
         return _roundtrip(entry)
 
     def _mapping_for(self, canon: CanonicalRequest, entry: dict) -> Mapping:
@@ -333,14 +367,17 @@ class MappingService:
         from repro.noc.simulator import NoCSimulator
         from repro.noc.traffic import MappedWorkloadTraffic
 
-        traffic = MappedWorkloadTraffic(instance, mapping, seed=sim["seed"])
-        simulator = NoCSimulator(
-            instance.mesh,
-            traffic,
-            invariants=sim["invariants"] or None,
-            engine=sim["engine"],
-        )
-        return simulator.run(warmup=sim["warmup"], measure=sim["measure"])
+        with reqtrace.span(
+            "worker.simulate", engine=sim["engine"], measure=sim["measure"]
+        ):
+            traffic = MappedWorkloadTraffic(instance, mapping, seed=sim["seed"])
+            simulator = NoCSimulator(
+                instance.mesh,
+                traffic,
+                invariants=sim["invariants"] or None,
+                engine=sim["engine"],
+            )
+            return simulator.run(warmup=sim["warmup"], measure=sim["measure"])
 
     async def _simulate(self, canon: CanonicalRequest, apps_doc, entry: dict, sim: dict) -> dict:
         from repro.noc.traffic import MappedWorkloadTraffic
@@ -379,8 +416,14 @@ class MappingService:
     async def map_request(self, payload: dict) -> dict:
         """Serve one ``POST /map`` body; returns the response document."""
         t0 = time.perf_counter()
-        parsed = self._parse(payload)
+        with reqtrace.span("canonicalize"):
+            parsed = self._parse(payload)
         canon, apps_doc, app_names, algorithm, want_bounds, simulate, sim, timeout = parsed
+        reqtrace.annotate(
+            fingerprint=canon.problem.fingerprint,
+            algorithm=algorithm,
+            simulate=simulate,
+        )
 
         async def respond() -> dict:
             problem_fp = canon.problem.fingerprint
@@ -413,12 +456,15 @@ class MappingService:
                 "fingerprint": problem_fp,
                 "cache": solve_kind,
             }
+            reqtrace.annotate(cache=solve_kind)
             if simulate:
                 sim_key = config_fingerprint(
                     "serve.sim", problem=problem_fp, algorithm=algorithm, sim=sim
                 )
                 mentry, sim_kind = await self._cached(
-                    sim_key, lambda: self._simulate(canon, apps_doc, entry, sim)
+                    sim_key,
+                    lambda: self._simulate(canon, apps_doc, entry, sim),
+                    stage="sim",
                 )
                 measured = {
                     k: v
@@ -441,7 +487,70 @@ class MappingService:
         finally:
             self._m_latency.observe(time.perf_counter() - t0)
         self._m_requests.inc()
+        trace_id = reqtrace.current_trace_id()
+        if trace_id is not None:
+            logger.debug(
+                "map served [trace=%d cache=%s algorithm=%s]",
+                trace_id,
+                doc["meta"]["cache"],
+                algorithm,
+            )
         return doc
+
+    # -- flight recorder ---------------------------------------------------
+
+    def finish_flight_record(self, ctx, status: int, payload) -> None:
+        """File one completed request into the flight recorder.
+
+        Called by the HTTP layer after the response status is settled;
+        ``ctx`` is the request's closed :class:`TraceContext`.  Any 5xx
+        also logs the full record so post-mortems survive ring eviction.
+        """
+        if self.flightrec is None or ctx is None:
+            return
+        attrs = ctx.root_attrs
+        record = {
+            "trace_id": ctx.trace_id,
+            "status": status,
+            "fingerprint": attrs.get("fingerprint"),
+            "algorithm": attrs.get("algorithm"),
+            "cache": attrs.get("cache"),
+            "batch_occupancy": attrs.get("batch_occupancy"),
+            "retries": ctx.notes.get("retries", 0),
+            "error": payload.get("error") if isinstance(payload, dict) else None,
+            # the root span is the last to end; its wall clock is the
+            # request's end-to-end duration
+            "duration_us": next(
+                (s["wall_us"] for s in reversed(ctx.spans) if s["parent_span"] == -1),
+                None,
+            ),
+            "spans": ctx.spans,
+            "spans_dropped": ctx.spans_dropped,
+        }
+        self.flightrec.record(record)
+        if status >= 500:
+            logger.error(
+                "request failed [trace=%d status=%d]: %s",
+                ctx.trace_id,
+                status,
+                json.dumps(json_safe(record), sort_keys=True),
+            )
+
+    def debug_requests(self) -> dict:
+        """The ``GET /debug/requests`` document (empty shell when off)."""
+        if self.flightrec is None:
+            from repro.service.flightrec import FLIGHT_SCHEMA, FLIGHT_SCHEMA_VERSION
+
+            return {
+                "schema": FLIGHT_SCHEMA,
+                "version": FLIGHT_SCHEMA_VERSION,
+                "enabled": False,
+                "capacity": 0,
+                "recorded": 0,
+                "dropped": 0,
+                "requests": [],
+            }
+        return self.flightrec.dump()
 
     # -- introspection -----------------------------------------------------
 
@@ -527,6 +636,7 @@ async def serve(
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         status, payload, ctype = 500, {"error": "internal error"}, "application/json"
+        trace_ctx = None
         try:
             request = await _read_request(reader)
             if request is None:
@@ -536,15 +646,24 @@ async def serve(
             route = (method, path.split("?", 1)[0])
             if route == ("POST", "/map"):
                 doc = json.loads(body.decode() or "null")
-                status, payload = 200, await service.map_request(doc)
+                if service.tracer is not None:
+                    with service.tracer.trace("serve.request") as trace_ctx:
+                        status, payload = 200, await service.map_request(doc)
+                else:
+                    status, payload = 200, await service.map_request(doc)
             elif route == ("GET", "/metrics"):
-                status, payload, ctype = (
-                    200,
-                    render_prometheus(service.registry),
-                    "text/plain; version=0.0.4",
-                )
+                # The tracer lock serializes against worker threads that
+                # record solver metrics mid-span.
+                if service.tracer is not None:
+                    with service.tracer.lock:
+                        text = render_prometheus(service.registry)
+                else:
+                    text = render_prometheus(service.registry)
+                status, payload, ctype = 200, text, "text/plain; version=0.0.4"
             elif route == ("GET", "/healthz"):
                 status, payload = 200, service.health()
+            elif route == ("GET", "/debug/requests"):
+                status, payload = 200, json_safe(service.debug_requests())
             elif route == ("POST", "/shutdown"):
                 status, payload = 200, {"status": "shutting down"}
                 stop.set()
@@ -562,8 +681,12 @@ async def serve(
             writer.close()
             return
         except Exception as exc:  # noqa: BLE001 - the daemon must not die
-            logger.exception("unhandled error serving request")
+            logger.exception(
+                "unhandled error serving request%s",
+                "" if trace_ctx is None else f" [trace={trace_ctx.trace_id}]",
+            )
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        service.finish_flight_record(trace_ctx, status, payload)
         try:
             writer.write(_response_bytes(status, payload, ctype))
             await writer.drain()
@@ -588,11 +711,24 @@ async def _serve_until_stopped(service: MappingService, host: str, port: int, re
         await server.wait_closed()
 
 
-def run_service(host: str = "127.0.0.1", port: int = 8177, *, ready=None, **config) -> int:
+def run_service(
+    host: str = "127.0.0.1",
+    port: int = 8177,
+    *,
+    ready=None,
+    trace_out=None,
+    **config,
+) -> int:
     """Blocking entry point used by ``python -m repro serve``."""
     service = MappingService(**config)
     try:
         asyncio.run(_serve_until_stopped(service, host, port, ready))
     except KeyboardInterrupt:
         pass
+    if trace_out is not None and service.tracer is not None:
+        from repro.obs.exporters import write_trace_jsonl
+
+        write_trace_jsonl(service.tracer, trace_out)
+        logger.info("wrote %d span events to %s",
+                    service.tracer.events_retained, trace_out)
     return 0

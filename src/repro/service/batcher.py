@@ -20,11 +20,15 @@ are dropped at flush time instead of simulating for nobody.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 
 from repro.noc.vector_engine import run_batch
+from repro.obs import reqtrace
 
 __all__ = ["BatchRequest", "SimulationBatcher"]
+
+logger = logging.getLogger("repro.serve.batcher")
 
 
 @dataclass
@@ -36,6 +40,10 @@ class BatchRequest:
     warmup: int
     measure: int
     future: asyncio.Future = field(default=None)
+    #: trace id of the submitting request (None when tracing is off)
+    trace_id: int | None = None
+    #: how many requests shared this request's run_batch call
+    occupancy: int = 0
 
 
 class SimulationBatcher:
@@ -92,15 +100,20 @@ class SimulationBatcher:
         loop = asyncio.get_running_loop()
         request = BatchRequest(mesh, traffic, int(warmup), int(measure))
         request.future = loop.create_future()
+        request.trace_id = reqtrace.current_trace_id()
         key = self._group_key(request)
-        group = self._pending.setdefault(key, [])
-        group.append(request)
-        self._set_depth()
-        if len(group) >= self.max_batch:
-            self._flush(key)
-        elif len(group) == 1:
-            self._timers[key] = loop.call_later(self.window, self._flush, key)
-        return await request.future
+        with reqtrace.span("batch.enqueue") as enq:
+            group = self._pending.setdefault(key, [])
+            group.append(request)
+            self._set_depth()
+            if len(group) >= self.max_batch:
+                self._flush(key)
+            elif len(group) == 1:
+                self._timers[key] = loop.call_later(self.window, self._flush, key)
+            result = await request.future
+            enq.set(occupancy=request.occupancy)
+        reqtrace.annotate(batch_occupancy=request.occupancy)
+        return result
 
     def _flush(self, key: tuple) -> None:
         timer = self._timers.pop(key, None)
@@ -117,6 +130,13 @@ class SimulationBatcher:
         self.requests_batched += len(batch)
         if self._registry is not None:
             self._m_occupancy.observe(len(batch))
+        for r in batch:
+            r.occupancy = len(batch)
+        coalesced = [r.trace_id for r in batch if r.trace_id is not None]
+        if coalesced:
+            logger.debug(
+                "flushing batch of %d [traces=%s]", len(batch), coalesced
+            )
         try:
             results = await self.pool.run(self._call_runner, batch)
         except Exception as exc:  # noqa: BLE001 - relayed per request
@@ -129,13 +149,21 @@ class SimulationBatcher:
                 r.future.set_result(result)
 
     def _call_runner(self, batch: list[BatchRequest]):
+        # Runs on a worker thread under the context of whichever request's
+        # submit scheduled the flush, so this span nests under that
+        # request's batch.enqueue; the coalesced attr names every sharer.
         first = batch[0]
-        return self._runner(
-            first.mesh,
-            [r.traffic for r in batch],
-            warmup=first.warmup,
-            measure=first.measure,
-        )
+        with reqtrace.span(
+            "engine.run_batch",
+            occupancy=len(batch),
+            coalesced=[r.trace_id for r in batch if r.trace_id is not None],
+        ):
+            return self._runner(
+                first.mesh,
+                [r.traffic for r in batch],
+                warmup=first.warmup,
+                measure=first.measure,
+            )
 
     async def drain(self) -> None:
         """Flush everything pending now (shutdown path)."""

@@ -1,0 +1,56 @@
+"""The service flight recorder: the last N completed requests, in full.
+
+A bounded ring of per-request forensic records — canonical fingerprint,
+cache outcome, retries, status, error, and the request's complete span
+tree as collected by :mod:`repro.obs.reqtrace`.  The ring is dumped by
+``GET /debug/requests``, logged on any 5xx response, and rendered
+offline by ``python -m repro trace serve-report``.
+
+Only populated when the service runs with tracing enabled; the ring
+itself is tiny (records are plain dicts, capacity defaults to 64), so a
+long-lived daemon cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["FlightRecorder", "FLIGHT_SCHEMA", "FLIGHT_SCHEMA_VERSION"]
+
+FLIGHT_SCHEMA = "repro-serve-requests"
+FLIGHT_SCHEMA_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded ring of completed-request records."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, record: dict) -> None:
+        self._ring.append(record)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._ring)
+
+    def snapshot(self) -> list[dict]:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def dump(self, enabled: bool = True) -> dict:
+        """The ``GET /debug/requests`` document."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "version": FLIGHT_SCHEMA_VERSION,
+            "enabled": enabled,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "requests": self.snapshot(),
+        }

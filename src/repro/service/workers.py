@@ -22,8 +22,11 @@ requests keep flowing.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import logging
 import threading
 
+from repro.obs import reqtrace
 from repro.experiments.resilience import (
     FailureBudgetExceeded,
     RunReport,
@@ -37,6 +40,8 @@ from repro.experiments.parallel import (
 )
 
 __all__ = ["WorkerPool"]
+
+logger = logging.getLogger("repro.serve.workers")
 
 
 class WorkerPool:
@@ -101,6 +106,10 @@ class WorkerPool:
         """One execution on a fresh daemon thread with the pool timeout."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        # Fresh threads do not inherit contextvars, so an active trace is
+        # copied into the thread explicitly; when tracing is off this is a
+        # single ContextVar read and no copy.
+        call_ctx = contextvars.copy_context() if reqtrace.is_active() else None
 
         def deliver(setter) -> None:
             try:
@@ -112,7 +121,10 @@ class WorkerPool:
 
         def runner() -> None:
             try:
-                value = fn(*args)
+                if call_ctx is not None:
+                    value = call_ctx.run(fn, *args)
+                else:
+                    value = fn(*args)
             except BaseException as exc:  # noqa: BLE001 - relayed to the caller
                 # default-arg binding: ``exc`` is implicitly deleted when
                 # this except block exits, which can happen before the
@@ -153,6 +165,14 @@ class WorkerPool:
                     self._charge(exc)
                     if attempt <= self.retries:
                         self.report.retries += 1
+                        reqtrace.note("retries")
+                        trace_id = reqtrace.current_trace_id()
+                        logger.warning(
+                            "worker task %d attempt %d/%d failed (%s: %s)%s; retrying",
+                            index, attempt, self.retries + 1,
+                            type(exc).__name__, exc,
+                            "" if trace_id is None else f" [trace={trace_id}]",
+                        )
                         delay = backoff_delays(index, attempt, self.backoff)
                         if delay > 0:
                             self.report.backoff_seconds += delay

@@ -1,0 +1,177 @@
+"""Parser-based conformance checks of the Prometheus text exposition.
+
+Rather than grepping for substrings, these tests run a small parser over
+``render_prometheus`` output and assert the structural rules a real
+Prometheus scraper relies on: one HELP/TYPE pair per family ahead of its
+samples, families contiguous, histogram buckets cumulative with
+ascending ``le`` ending in ``+Inf``, matching ``_sum``/``_count`` pairs,
+and label-value escaping that survives a round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.exporters import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_exposition(text: str):
+    """Parse into (families, samples); raises on malformed lines."""
+    families: dict[str, dict] = {}
+    samples: list[tuple[str, dict, float]] = []
+    current: str | None = None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {})["help"] = help_text
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            family = families.setdefault(name, {})
+            assert "kind" not in family, f"duplicate TYPE for {name}"
+            family["kind"] = kind
+            current = name
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line_no}: {line}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line {line_no}: {line!r}"
+        name = match["name"]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = base if base in families else name
+        assert current is not None and family == current, (
+            f"line {line_no}: sample {name} outside its family block "
+            f"(current family {current})"
+        )
+        labels = dict()
+        if match["labels"]:
+            consumed = sum(
+                len(m.group(0)) for m in _LABEL.finditer(match["labels"])
+            )
+            pairs = _LABEL.findall(match["labels"])
+            assert consumed + len(pairs) - 1 == len(match["labels"]), (
+                f"line {line_no}: malformed label block {match['labels']!r}"
+            )
+            labels = {k: unescape(v) for k, v in pairs}
+        value = float("inf") if match["value"] == "+Inf" else float(match["value"])
+        samples.append((name, labels, value))
+    return families, samples
+
+
+def histogram_series(samples, family: str):
+    """Group one histogram family's samples by their non-le label set."""
+    series: dict[tuple, dict] = {}
+    for name, labels, value in samples:
+        if not name.startswith(family + "_"):
+            continue
+        suffix = name[len(family) + 1 :]
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if suffix == "bucket":
+            le = labels["le"]
+            entry["buckets"].append(
+                (float("inf") if le == "+Inf" else float(le), value)
+            )
+        elif suffix in ("sum", "count"):
+            entry[suffix] = value
+    return series
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("demo_requests_total", "requests served")
+    requests.inc(7)
+    registry.gauge("demo_ratio", "a gauge that starts at zero")
+    latency = registry.histogram(
+        "demo_seconds", "latency", bounds=(0.1, 0.5, 2.0), route="/map"
+    )
+    for v in (0.05, 0.3, 0.3, 1.0, 9.0):
+        latency.observe(v)
+    other = registry.histogram(
+        "demo_seconds", bounds=(0.1, 0.5, 2.0), route="/healthz"
+    )
+    other.observe(0.2)
+    return registry
+
+
+class TestExpositionStructure:
+    def test_every_line_parses_and_families_are_contiguous(self, registry):
+        families, samples = parse_exposition(render_prometheus(registry))
+        assert set(families) == {"demo_requests_total", "demo_ratio", "demo_seconds"}
+        for family in families.values():
+            assert family["kind"]
+
+    def test_histogram_buckets_ascend_cumulatively_to_inf(self, registry):
+        _, samples = parse_exposition(render_prometheus(registry))
+        series = histogram_series(samples, "demo_seconds")
+        assert len(series) == 2  # one per route label
+        for entry in series.values():
+            bounds = [b for b, _ in entry["buckets"]]
+            counts = [c for _, c in entry["buckets"]]
+            assert bounds == sorted(bounds)
+            assert bounds[-1] == float("inf")
+            assert counts == sorted(counts), "bucket counts must be cumulative"
+            assert entry["count"] == counts[-1]
+            assert entry["sum"] is not None
+
+    def test_sum_and_count_match_observations(self, registry):
+        _, samples = parse_exposition(render_prometheus(registry))
+        series = histogram_series(samples, "demo_seconds")
+        map_series = series[(("route", "/map"),)]
+        assert map_series["count"] == 5
+        assert map_series["sum"] == pytest.approx(0.05 + 0.3 + 0.3 + 1.0 + 9.0)
+        # observations above the last finite bound live only in +Inf
+        finite_top = [c for b, c in map_series["buckets"] if b == 2.0][0]
+        assert map_series["buckets"][-1][1] - finite_top == 1
+
+    def test_gauge_starts_at_zero_not_nan(self, registry):
+        _, samples = parse_exposition(render_prometheus(registry))
+        ratio = [v for n, _, v in samples if n == "demo_ratio"]
+        assert ratio == [0.0]
+
+    def test_label_values_escape_and_roundtrip(self):
+        registry = MetricsRegistry()
+        hairy = 'quote " backslash \\ newline \n done'
+        registry.counter("demo_escapes_total", "backslash \\ and\nnewline",
+                         detail=hairy).inc()
+        text = render_prometheus(registry)
+        assert "\n# " not in text.partition("# TYPE")[2]  # help newline escaped
+        families, samples = parse_exposition(text)
+        assert families["demo_escapes_total"]["help"] == "backslash \\\\ and\\nnewline"
+        [(name, labels, value)] = samples
+        assert labels["detail"] == hairy
+        assert value == 1
+
+
+class TestServiceMetricsConformance:
+    def test_service_registry_scrape_parses_clean(self):
+        """A traced service's real registry obeys every structural rule."""
+        from repro.service.app import MappingService
+
+        service = MappingService(trace=True, trace_clock="logical")
+        families, samples = parse_exposition(render_prometheus(service.registry))
+        assert "serve_request_seconds" in families
+        series = histogram_series(samples, "serve_request_seconds")
+        for entry in series.values():
+            bounds = [b for b, _ in entry["buckets"]]
+            assert bounds == sorted(bounds) and bounds[-1] == float("inf")

@@ -116,6 +116,24 @@ class TestCheckLogic:
         assert len(failures) == 1
         assert "speedup" in failures[0]
 
+    def test_serve_tracing_guard_skips_when_not_measured(self, capsys):
+        """MEASURED has no serve_tracing_ratio (serve probe skipped):
+        the service guard must report a skip, not KeyError."""
+        mod = _load_module()
+        failures = mod.check(self.MEASURED, {}, tol=0.30, tol_seconds=0.60)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "service.obs_overhead.overhead_ratio" in out
+        assert "serve probe not measured" in out
+
+    def test_serve_tracing_ratio_regression_detected(self):
+        mod = _load_module()
+        measured = {**self.MEASURED, "serve_tracing_ratio": 2.0}
+        baseline = {"service": {"obs_overhead": {"overhead_ratio": 1.0}}}
+        failures = mod.check(measured, baseline, tol=0.30, tol_seconds=0.60)
+        assert len(failures) == 1
+        assert "service.obs_overhead.overhead_ratio" in failures[0]
+
     def test_non_numeric_baseline_value_fails_not_crashes(self):
         mod = _load_module()
         baseline = {"vector_engine": {"single_sim": {"speedup": "fast!"}}}
