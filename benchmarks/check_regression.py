@@ -18,6 +18,12 @@ Guarded quantities and directions:
 * ``service.obs_overhead.overhead_ratio``-- must not RISE >30% (the serve
   daemon's request-span tracing, measured by bench_serve's interleaved
   on/off burst; tracing must stay close to free)
+* ``solvers.sss_numpy_speedup``          -- must not DROP >30% (the
+  batched NumPy sweep vs the per-window reference on C1; also the guard
+  behind the re-baselined ``benchmarks.test_scaling`` entry)
+* ``solvers.sss_compiled_speedup``       -- must not DROP >30% (checked
+  only where a compiled backend -- numba or the self-built C kernels --
+  is available; otherwise reported as a skip)
 * ``engine...fastpath_seconds``          -- must not RISE >60% (seconds
   get a wider default tolerance than ratios: absolute wall-clock varies
   with host and machine load phase, while ratios taken from interleaved
@@ -161,17 +167,20 @@ def measure(rounds: int) -> dict:
         )
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from bench_serve import measure_tracing_overhead
+    from bench_solvers import measure_solvers
 
     serve_obs = measure_tracing_overhead(rounds=min(2, rounds))
     measured["serve_obs_off_seconds"] = serve_obs["off_seconds"]
     measured["serve_obs_on_seconds"] = serve_obs["tracing_on_seconds"]
     measured["serve_tracing_ratio"] = serve_obs["overhead_ratio"]
+    # Solver-kernel speedups (asserts backend bit-identity internally).
+    measured["solvers"] = measure_solvers(rounds=rounds)
     return measured
 
 
 #: Top-level baseline sections the guard reads; a file with none of them
 #: is treated as section-less (exit 2), not silently all-skip.
-GUARDED_SECTIONS = ("engine", "vector_engine", "obs_overhead", "service")
+GUARDED_SECTIONS = ("engine", "vector_engine", "obs_overhead", "service", "solvers")
 
 
 class BaselineError(RuntimeError):
@@ -296,6 +305,34 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
             "  service.obs_overhead.overhead_ratio         ------- "
             "(serve probe not measured) skip"
         )
+    solvers = _section(baseline, "solvers")
+    solver_measured = measured.get("solvers", {})
+    if "sss_numpy_speedup" in solver_measured:
+        guard(
+            "solvers.sss_numpy_speedup",
+            solver_measured["sss_numpy_speedup"],
+            solvers.get("sss_numpy_speedup"),
+            worse_is_higher=False,
+            tolerance=tol,
+        )
+        if "sss_compiled_speedup" in solver_measured:
+            guard(
+                "solvers.sss_compiled_speedup",
+                solver_measured["sss_compiled_speedup"],
+                solvers.get("sss_compiled_speedup"),
+                worse_is_higher=False,
+                tolerance=tol,
+            )
+        else:
+            print(
+                "  solvers.sss_compiled_speedup                ------- "
+                "(no compiled backend; fallback is the guarded numpy sweep) skip"
+            )
+    else:
+        print(
+            "  solvers.sss_numpy_speedup                   ------- "
+            "(solver probe not measured) skip"
+        )
     return failures
 
 
@@ -345,6 +382,10 @@ def update(measured: dict, baseline: dict) -> dict:
             tracing_on_seconds=measured["serve_obs_on_seconds"],
             overhead_ratio=measured["serve_tracing_ratio"],
         )
+    if "solvers" in measured:
+        # Refresh the timing/speedup keys only: descriptions, backend
+        # snapshot, and the serve_cache_miss probe stay bench_solvers.py's.
+        baseline.setdefault("solvers", {}).update(measured["solvers"])
     return baseline
 
 

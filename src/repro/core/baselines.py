@@ -27,7 +27,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.hungarian import solve_assignment
-from repro.core.metrics import MappingEvaluation, evaluate_mapping
+from repro.core.metrics import MappingEvaluation
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
 from repro.obs import reqtrace
@@ -121,19 +121,13 @@ def random_mapping(instance: OBMInstance, seed=None) -> MappingResult:
 def _batched_metrics(
     instance: OBMInstance, perms: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorised (max-APL, dev-APL, g-APL) for a batch of permutations."""
-    wl = instance.workload
-    per_thread = (
-        wl.cache_rates[None, :] * instance.tc[perms]
-        + wl.mem_rates[None, :] * instance.tm[perms]
-    )
-    sums = np.add.reduceat(per_thread, wl.boundaries[:-1], axis=1)
-    volumes = wl.app_volumes
-    apls = sums[:, wl.active_apps] / volumes[wl.active_apps][None, :]
-    max_apls = apls.max(axis=1)
-    dev_apls = apls.std(axis=1)
-    g_apls = sums.sum(axis=1) / volumes.sum()
-    return max_apls, dev_apls, g_apls
+    """Vectorised (max-APL, dev-APL, g-APL) for a batch of permutations.
+
+    Thin wrapper over the instance's shared
+    :class:`~repro.core.permkernels.PermutationBatchEvaluator`
+    (bit-identical to the arithmetic that used to live here).
+    """
+    return instance.batch_evaluator.metrics(perms)
 
 
 def random_average(
@@ -176,6 +170,7 @@ def monte_carlo(
     obj = _resolve_objective(objective)
     rng = as_rng(seed)
     t0 = time.perf_counter()
+    evaluator = instance.batch_evaluator
     best_perm = None
     best_value = np.inf
     done = 0
@@ -184,19 +179,20 @@ def monte_carlo(
             b = min(batch, n_samples - done)
             perms = _permutation_batch(rng, b, instance.n)
             if obj in (_objective_max_apl, _objective_dev_apl, _objective_g_apl):
-                max_apls, dev_apls, g_apls = _batched_metrics(instance, perms)
+                max_apls, dev_apls, g_apls = evaluator.metrics(perms)
                 values = {
                     _objective_max_apl: max_apls,
                     _objective_dev_apl: dev_apls,
                     _objective_g_apl: g_apls,
                 }[obj]
-            else:  # arbitrary callable: evaluate one by one
-                values = np.array(
-                    [
-                        obj(evaluate_mapping(instance.workload, p, instance.tc, instance.tm))
-                        for p in perms
-                    ]
-                )
+            else:
+                # Arbitrary callable: batch-computed latency sums feed
+                # chunked MappingEvaluation construction (bit-identical
+                # to per-permutation evaluate_mapping, minus the
+                # per-permutation gather).
+                values = evaluator.objective_values(perms, obj)
+            # First-minimum tie-break within the batch (np.argmin), strict
+            # < across batches: the earliest sampled optimum wins overall.
             idx = int(np.argmin(values))
             if values[idx] < best_value:
                 best_value = float(values[idx])

@@ -15,6 +15,7 @@ assignment solve per node).
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 
@@ -23,7 +24,7 @@ import numpy as np
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
 
-__all__ = ["branch_and_bound", "ExactSolverLimits"]
+__all__ = ["branch_and_bound", "exhaustive_search", "ExactSolverLimits"]
 
 
 @dataclass(frozen=True)
@@ -154,4 +155,65 @@ def branch_and_bound(
             "nodes": searcher.nodes,
             "proved_optimal": not searcher.aborted,
         },
+    )
+
+
+#: 10! = 3.6M permutations is the largest enumeration that stays in the
+#: low-seconds range through the batch evaluator; beyond it use
+#: :func:`branch_and_bound`.
+_EXHAUSTIVE_MAX_THREADS = 10
+
+
+def exhaustive_search(
+    instance: OBMInstance, chunk: int = 40_320
+) -> MappingResult:
+    """Brute-force OBM optimum by scoring every permutation in batches.
+
+    Enumerates all ``n!`` thread-to-tile permutations in lexicographic
+    order and scores them ``chunk`` at a time through the instance's
+    shared :class:`~repro.core.permkernels.PermutationBatchEvaluator` —
+    the same batched gather+reduceat kernel MC and the GA use — instead
+    of one ``evaluate_mapping`` call per permutation.  Within a chunk
+    ``np.argmin`` keeps the first minimum and across chunks a strict
+    ``<`` keeps the earlier one, so ties resolve to the
+    lexicographically smallest optimal permutation, deterministically.
+
+    Chiefly a validation tool: on tiny instances it certifies
+    :func:`branch_and_bound` (which prunes) and the heuristics against
+    the unpruned ground truth.
+    """
+    if instance.n > _EXHAUSTIVE_MAX_THREADS:
+        raise ValueError(
+            f"instance has {instance.n} threads; exhaustive enumeration is "
+            f"limited to {_EXHAUSTIVE_MAX_THREADS} ({instance.n}! is too many)"
+        )
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    t0 = time.perf_counter()
+    evaluator = instance.batch_evaluator
+    best_value = np.inf
+    best_perm: np.ndarray | None = None
+    n_scored = 0
+    source = itertools.permutations(range(instance.n))
+    while True:
+        block = np.array(
+            list(itertools.islice(source, chunk)), dtype=np.int64
+        )
+        if block.size == 0:
+            break
+        values = evaluator.max_apls(block)
+        idx = int(np.argmin(values))
+        if values[idx] < best_value:
+            best_value = float(values[idx])
+            best_perm = block[idx].copy()
+        n_scored += block.shape[0]
+    elapsed = time.perf_counter() - t0
+    assert best_perm is not None
+    mapping = Mapping(best_perm)
+    return MappingResult(
+        algorithm="Exhaustive",
+        mapping=mapping,
+        evaluation=instance.evaluate(mapping),
+        runtime_seconds=elapsed,
+        extra={"permutations": n_scored, "proved_optimal": True},
     )

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.baselines import _batched_metrics
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
 from repro.obs import reqtrace
@@ -83,8 +82,11 @@ def genetic_algorithm(
     t0 = time.perf_counter()
     n = instance.n
 
+    # One shared batch evaluator scores every generation: population
+    # fitness is a single gather + reduceat per generation.
+    evaluator = instance.batch_evaluator
     population = np.array([rng.permutation(n) for _ in range(config.population)])
-    fitness, _, _ = _batched_metrics(instance, population)
+    fitness = evaluator.max_apls(population)
 
     best_perm = population[int(np.argmin(fitness))].copy()
     best_value = float(fitness.min())
@@ -110,7 +112,7 @@ def genetic_algorithm(
                     child[a], child[b] = child[b], child[a]
                 next_pop.append(child)
             population = np.array(next_pop)
-            fitness, _, _ = _batched_metrics(instance, population)
+            fitness = evaluator.max_apls(population)
             gen_best = int(np.argmin(fitness))
             if fitness[gen_best] < best_value:
                 best_value = float(fitness[gen_best])

@@ -1,0 +1,268 @@
+"""Optional numba-compiled kernels for the mapping solvers.
+
+The SSS swap phase and the Hungarian assignment solve are the two solver
+hot loops whose per-iteration work is too small for NumPy dispatch to
+amortise: `_SwapState.try_window` is vectorised *within* one 24-permutation
+window but runs once per window-start per step per pass, and the Hungarian
+Dijkstra touches O(m) columns per tree growth step.  Both are natural
+compiled targets.
+
+This module holds the nopython-compatible transliterations:
+
+* :func:`sweep_pass` — one full ``(step, start)`` sweep of the SSS swap
+  phase, fused into a single loop nest.  Mutates ``perm`` /
+  ``tile_thread`` / ``numerators`` in place exactly like the per-window
+  reference (`repro.core.sss._SwapState.try_window` called in sweep
+  order): same cost expression, same application-delta accumulation
+  order, same first-minimum argmin tie-break (identity permutation wins
+  ties), same elementwise numerator update on accept.  The caller runs
+  ``recompute()`` between passes, as before, so float drift clears on
+  the same cadence.
+* :func:`hungarian_kernel` — the Jonker-Volkgenant shortest-augmenting-path
+  solve of `repro.core.hungarian`, with the identical reduced-cost
+  expression ``min_val + cost[i, j] - u[i] - v[j]`` (evaluated left to
+  right) and the identical ascending-column first-minimum tie-break, so
+  degenerate (tied) instances pick the same assignment bit for bit.
+
+:func:`load_sweep_kernel` / :func:`load_hungarian_kernel` resolve each to
+
+* ``numba.njit(cache=True, nogil=True)``-compiled when numba is
+  importable (kernels drop the GIL, so the serve worker pool's threads
+  scale solves across cores),
+* interpreted when ``REPRO_JIT=interp`` (bit-exact but slow — how the
+  golden suite validates kernel logic on machines without numba),
+* ``(None, reason)`` otherwise: the caller falls through to the
+  self-compiled C backend (`repro.core.cc_solvers`) or the batched
+  NumPy fallback (`repro.core.permkernels`).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+try:  # optional dependency: solvers degrade to cc/NumPy backends without it
+    import numba
+except ImportError:  # pragma: no cover - exercised on no-numba CI leg
+    numba = None
+
+__all__ = [
+    "HAVE_NUMBA",
+    "UNAVAILABLE_REASON",
+    "sweep_pass",
+    "hungarian_kernel",
+    "load_sweep_kernel",
+    "load_hungarian_kernel",
+]
+
+HAVE_NUMBA = numba is not None
+UNAVAILABLE_REASON = (
+    None if HAVE_NUMBA else "numba is not installed (pip install numba)"
+)
+
+
+def sweep_pass(
+    sorted_tiles,
+    w,
+    max_step,
+    perms,
+    perm,
+    tile_thread,
+    numerators,
+    c,
+    m,
+    tc,
+    tm,
+    app_of_thread,
+    safe_volumes,
+    active,
+    counts,
+):
+    """One full ``(step, start)`` sweep of the SSS swap phase.
+
+    ``perm`` / ``tile_thread`` / ``numerators`` are mutated in place;
+    window counters land in ``counts`` as ``[tried, accepted]``.
+    """
+    n = sorted_tiles.shape[0]
+    n_perms = perms.shape[0]
+    n_apps = numerators.shape[0]
+    n_active = active.shape[0]
+    tiles = np.empty(w, dtype=np.int64)
+    threads = np.empty(w, dtype=np.int64)
+    apps = np.empty(w, dtype=np.int64)
+    new_tiles = np.empty(w, dtype=np.int64)
+    cost = np.empty((w, w), dtype=np.float64)
+    base = np.empty(w, dtype=np.float64)
+    app_delta = np.empty(n_apps, dtype=np.float64)
+    best_delta = np.empty(n_apps, dtype=np.float64)
+    tried = 0
+    accepted = 0
+    for step in range(1, max_step + 1):
+        span = (w - 1) * step
+        for start in range(n - span):
+            for a in range(w):
+                tile = sorted_tiles[start + step * a]
+                tiles[a] = tile
+                threads[a] = tile_thread[tile]
+                apps[a] = app_of_thread[threads[a]]
+            for a in range(w):
+                ca = c[threads[a]]
+                ma = m[threads[a]]
+                for b in range(w):
+                    cost[a, b] = ca * tc[tiles[b]] + ma * tm[tiles[b]]
+                base[a] = cost[a, a]
+            # Identity permutation (p = 0): its delta is exactly 0.0, so
+            # its candidate value is the current max-APL — seeding
+            # best_val with it makes the strict-< scan below reproduce
+            # np.argmin's first-minimum tie-break (ties keep identity).
+            best_val = -np.inf
+            for k in range(n_active):
+                ap = active[k]
+                vl = numerators[ap] / safe_volumes[ap]
+                if vl > best_val:
+                    best_val = vl
+            best_p = 0
+            for ap in range(n_apps):
+                best_delta[ap] = 0.0
+            for p in range(1, n_perms):
+                for ap in range(n_apps):
+                    app_delta[ap] = 0.0
+                for a in range(w):
+                    app_delta[apps[a]] += cost[a, perms[p, a]] - base[a]
+                val = -np.inf
+                for k in range(n_active):
+                    ap = active[k]
+                    vl = (numerators[ap] + app_delta[ap]) / safe_volumes[ap]
+                    if vl > val:
+                        val = vl
+                if val < best_val:
+                    best_val = val
+                    best_p = p
+                    for ap in range(n_apps):
+                        best_delta[ap] = app_delta[ap]
+            tried += 1
+            if best_p != 0:
+                accepted += 1
+                for a in range(w):
+                    new_tiles[a] = tiles[perms[best_p, a]]
+                for a in range(w):
+                    perm[threads[a]] = new_tiles[a]
+                for a in range(w):
+                    tile_thread[new_tiles[a]] = threads[a]
+                for ap in range(n_apps):
+                    numerators[ap] += best_delta[ap]
+    counts[0] = tried
+    counts[1] = accepted
+
+
+def hungarian_kernel(
+    cost,
+    col_of_row,
+    row_of_col,
+    u,
+    v,
+    shortest,
+    parent,
+    in_row_tree,
+    visited,
+):
+    """Shortest-augmenting-path assignment solve over ``cost`` (n <= m).
+
+    Fills ``col_of_row``; the other arrays are caller-allocated scratch.
+    Returns 0 on success, 1 if no finite augmenting path exists.
+    """
+    n = cost.shape[0]
+    m = cost.shape[1]
+    for i in range(n):
+        col_of_row[i] = -1
+        u[i] = 0.0
+    for j in range(m):
+        row_of_col[j] = -1
+        v[j] = 0.0
+        parent[j] = -1
+
+    for cur_row in range(n):
+        for j in range(m):
+            shortest[j] = np.inf
+            visited[j] = False
+        for i in range(n):
+            in_row_tree[i] = False
+        min_val = 0.0
+        i = cur_row
+        sink = -1
+        while sink == -1:
+            in_row_tree[i] = True
+            ui = u[i]
+            for j in range(m):
+                if visited[j]:
+                    continue
+                reduced = min_val + cost[i, j] - ui - v[j]
+                if reduced < shortest[j]:
+                    shortest[j] = reduced
+                    parent[j] = i
+            jbest = -1
+            best = np.inf
+            for j in range(m):
+                if visited[j]:
+                    continue
+                if shortest[j] < best:
+                    best = shortest[j]
+                    jbest = j
+            if jbest == -1 or not np.isfinite(best):
+                return 1
+            min_val = best
+            visited[jbest] = True
+            if row_of_col[jbest] == -1:
+                sink = jbest
+            else:
+                i = row_of_col[jbest]
+        u[cur_row] += min_val
+        for r in range(n):
+            if in_row_tree[r] and r != cur_row:
+                u[r] += min_val - shortest[col_of_row[r]]
+        for j in range(m):
+            if visited[j]:
+                v[j] -= min_val - shortest[j]
+        j = sink
+        while True:
+            pi = parent[j]
+            row_of_col[j] = pi
+            nxt = col_of_row[pi]
+            col_of_row[pi] = j
+            j = nxt
+            if pi == cur_row:
+                break
+    return 0
+
+
+_compiled_sweep = None
+_compiled_hungarian = None
+
+
+def _interp() -> bool:
+    return os.environ.get("REPRO_JIT", "").strip().lower() == "interp"
+
+
+def load_sweep_kernel():
+    """Resolve the swap-sweep kernel: ``(callable, None)`` or ``(None, reason)``."""
+    global _compiled_sweep
+    if _interp():
+        return sweep_pass, None
+    if not HAVE_NUMBA:
+        return None, UNAVAILABLE_REASON
+    if _compiled_sweep is None:
+        _compiled_sweep = numba.njit(cache=True, nogil=True)(sweep_pass)
+    return _compiled_sweep, None
+
+
+def load_hungarian_kernel():
+    """Resolve the Hungarian kernel: ``(callable, None)`` or ``(None, reason)``."""
+    global _compiled_hungarian
+    if _interp():
+        return hungarian_kernel, None
+    if not HAVE_NUMBA:
+        return None, UNAVAILABLE_REASON
+    if _compiled_hungarian is None:
+        _compiled_hungarian = numba.njit(cache=True, nogil=True)(hungarian_kernel)
+    return _compiled_hungarian, None

@@ -34,6 +34,7 @@ __all__ = [
     "min_max_ratio",
     "MappingEvaluation",
     "evaluate_mapping",
+    "evaluate_many",
 ]
 
 
@@ -140,3 +141,17 @@ def evaluate_mapping(
         g_apl=float(sums.sum()) / total_volume,
         min_max_ratio=1.0 if hi == 0 else float(active.min()) / hi,
     )
+
+
+def evaluate_many(
+    workload: Workload, perms: np.ndarray, tc: np.ndarray, tm: np.ndarray
+) -> list[MappingEvaluation]:
+    """Evaluate a ``(K, n)`` batch of mappings in one batched pass.
+
+    Bit-identical to calling :func:`evaluate_mapping` per row (the
+    property suite pins this), at a fraction of the dispatch cost.
+    """
+    # Local import: permkernels imports MappingEvaluation from here.
+    from repro.core.permkernels import PermutationBatchEvaluator
+
+    return PermutationBatchEvaluator(workload, tc, tm).evaluations(perms)

@@ -164,6 +164,19 @@ class OBMInstance:
         cost.setflags(write=False)
         return cost
 
+    @cached_property
+    def batch_evaluator(self):
+        """Shared batched permutation scorer for this instance.
+
+        One :class:`repro.core.permkernels.PermutationBatchEvaluator`
+        per instance: MC, GA, exhaustive enumeration, and random
+        averaging all score their permutation batches through it.
+        """
+        # Local import: permkernels sits above problem in the layering.
+        from repro.core.permkernels import PermutationBatchEvaluator
+
+        return PermutationBatchEvaluator(self.workload, self.tc, self.tm)
+
     # Evaluation -----------------------------------------------------------
 
     def evaluate(self, mapping: Mapping) -> MappingEvaluation:

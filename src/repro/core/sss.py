@@ -29,6 +29,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core import permkernels
 from repro.core.metrics import evaluate_mapping
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.results import MappingResult
@@ -246,8 +247,16 @@ def _swap_phase(
     perm: np.ndarray,
     config: SSSConfig,
     tc_order: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Step 3's sliding-window sweep over the sorted tile list.
+
+    The whole ``(pass, step, start)`` sweep runs as one fused kernel call
+    per pass (`repro.core.permkernels.sweep_pass_inplace` — numba, the
+    self-compiled C backend, or the batched NumPy fallback), bit-identical
+    to the per-window reference loop, which ``backend="reference"`` keeps
+    selectable for tests and the regression benchmarks.  ``recompute()``
+    still runs between passes so float drift clears on the same cadence.
 
     Returns the new permutation plus the swap-acceptance counters
     (windows evaluated, windows where a non-identity permutation won).
@@ -257,12 +266,25 @@ def _swap_phase(
     max_step = config.max_step if config.max_step is not None else max(1, n // w)
     sorted_tiles = _tc_sorted_tiles(instance) if tc_order is None else tc_order
     state = _SwapState(instance, perm, w)
+    backend = backend or permkernels.resolve_backend()
+    if backend == "reference":
+        for _ in range(config.swap_passes):
+            for step in range(1, max_step + 1):
+                span = (w - 1) * step
+                for start in range(n - span):
+                    positions = start + step * np.arange(w)
+                    state.try_window(sorted_tiles[positions])
+            state.recompute()
+        return state.perm, state.windows_tried, state.windows_accepted
     for _ in range(config.swap_passes):
-        for step in range(1, max_step + 1):
-            span = (w - 1) * step
-            for start in range(n - span):
-                positions = start + step * np.arange(w)
-                state.try_window(sorted_tiles[positions])
+        tried, accepted = permkernels.sweep_pass_inplace(
+            sorted_tiles, w, max_step, state.perms, state.perm,
+            state.tile_thread, state.numerators, state.c, state.m,
+            state.tc, state.tm, state.app_of_thread, state._safe_volumes,
+            state.active, backend=backend,
+        )
+        state.windows_tried += tried
+        state.windows_accepted += accepted
         state.recompute()
     return state.perm, state.windows_tried, state.windows_accepted
 
@@ -364,6 +386,11 @@ def _sss_start_cell(cell) -> MappingResult:
     return sort_select_swap(instance, config, seed=start_seed)
 
 
+#: Below this many tiles a kernelised restart is cheaper than forking a
+#: worker and pickling the instance, so multi-start stays in-process.
+_FANOUT_MIN_TILES = 1024
+
+
 def multi_start_sss(
     instance: OBMInstance,
     n_starts: int = 8,
@@ -384,6 +411,13 @@ def multi_start_sss(
     serial loop drew them, and the best pick scans candidates in start
     order with a strict ``<`` — so ``workers > 1`` fans the starts across
     processes yet returns the exact mapping of the serial run.
+
+    On small instances (fewer than ``_FANOUT_MIN_TILES`` tiles) the
+    restarts run in-process even when ``workers > 1``: with the swap
+    sweep kernelised, a restart costs low single-digit milliseconds and
+    process fan-out (fork + pickling the instance per start) costs more
+    than it saves.  The in-process path shares one TC sort across all
+    restarts and returns the identical mapping either way.
     """
     if n_starts < 1:
         raise ValueError("n_starts must be positive")
@@ -395,7 +429,8 @@ def multi_start_sss(
         (instance, random_config, int(rng.integers(2**63)))
         for _ in range(n_starts - 1)
     ]
-    if workers > 1 and n_starts > 1:
+    fan_out = workers > 1 and n_starts > 1 and instance.n >= _FANOUT_MIN_TILES
+    if fan_out:
         # Lazy import: keeps the algorithm layer import-independent of the
         # experiment package on the (default) serial path.
         from repro.experiments.parallel import parallel_map
@@ -417,7 +452,11 @@ def multi_start_sss(
         mapping=best.mapping,
         evaluation=best.evaluation,
         runtime_seconds=elapsed,
-        extra={"n_starts": n_starts, "config": base},
+        extra={
+            "n_starts": n_starts,
+            "config": base,
+            "mode": "fan-out" if fan_out else "in-process",
+        },
     )
 
 

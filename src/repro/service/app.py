@@ -42,6 +42,7 @@ import logging
 import time
 
 from repro.core.bounds import max_apl_lower_bound
+from repro.core import permkernels
 from repro.core.problem import Mapping, OBMInstance
 from repro.core.registry import ALGORITHMS
 from repro.core.workload import Application, Workload
@@ -554,6 +555,22 @@ class MappingService:
 
     # -- introspection -----------------------------------------------------
 
+    async def warm_kernels(self) -> dict:
+        """Pre-build the solver kernel backend on a pool thread.
+
+        Called once at daemon startup so the first cache-miss request
+        never pays numba compilation or the one-off C kernel build.  A
+        failure is logged and swallowed — the solvers fall back to the
+        batched NumPy path on their own.
+        """
+        try:
+            info = await self.pool.warm(permkernels.warmup)
+        except Exception:  # noqa: BLE001 - warmup must never kill startup
+            logger.exception("solver kernel warmup failed; using fallback")
+            return permkernels.backend_info()
+        logger.info("solver kernels ready: backend=%s", info["backend"])
+        return info
+
     def health(self) -> dict:
         return {
             "status": "degraded"
@@ -574,6 +591,7 @@ class MappingService:
                 "batches_run": self.batcher.batches_run,
                 "requests_batched": self.batcher.requests_batched,
             },
+            "solvers": permkernels.backend_info(),
             "report": self.report.as_dict(),
         }
 
@@ -701,6 +719,7 @@ async def serve(
 
 
 async def _serve_until_stopped(service: MappingService, host: str, port: int, ready=None) -> None:
+    await service.warm_kernels()
     server, bound_port, stop = await serve(service, host, port)
     if ready is not None:
         ready(bound_port)

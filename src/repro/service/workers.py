@@ -102,8 +102,8 @@ class WorkerPool:
                 self.failure_budget, list(self.report.failure_causes)
             ) from exc
 
-    async def _attempt(self, fn, args):
-        """One execution on a fresh daemon thread with the pool timeout."""
+    def _spawn(self, fn, args) -> asyncio.Future:
+        """Start ``fn(*args)`` on a fresh daemon thread; returns its future."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         # Fresh threads do not inherit contextvars, so an active trace is
@@ -135,6 +135,11 @@ class WorkerPool:
 
         thread = threading.Thread(target=runner, daemon=True, name="repro-serve-worker")
         thread.start()
+        return future
+
+    async def _attempt(self, fn, args):
+        """One execution on a fresh daemon thread with the pool timeout."""
+        future = self._spawn(fn, args)
         try:
             return await asyncio.wait_for(future, timeout=self.timeout)
         except asyncio.TimeoutError:
@@ -145,6 +150,17 @@ class WorkerPool:
             if self._registry is not None:
                 self._m_wedged.inc()
             raise
+
+    async def warm(self, fn, *args):
+        """Run ``fn(*args)`` on a pool thread outside supervision accounting.
+
+        Startup warmups (solver-kernel compilation, cache priming) are not
+        served work: no timeout, no retries, no failure-budget charge, no
+        task metrics — a warmup failure propagates to the caller, which
+        logs it and starts the daemon anyway.
+        """
+        async with self._semaphore():
+            return await self._spawn(fn, args)
 
     async def run(self, fn, *args):
         """Run ``fn(*args)`` off-loop under supervision; returns its value."""

@@ -134,6 +134,43 @@ class TestCheckLogic:
         assert len(failures) == 1
         assert "service.obs_overhead.overhead_ratio" in failures[0]
 
+    def test_solver_guard_skips_when_not_measured(self, capsys):
+        """MEASURED has no solvers dict (probe skipped): the solver guards
+        must report a skip, not KeyError."""
+        mod = _load_module()
+        failures = mod.check(self.MEASURED, {}, tol=0.30, tol_seconds=0.60)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "solvers.sss_numpy_speedup" in out
+        assert "solver probe not measured" in out
+
+    def test_solver_speedup_regression_detected(self):
+        mod = _load_module()
+        measured = {
+            **self.MEASURED,
+            "solvers": {"sss_numpy_speedup": 1.0, "sss_compiled_speedup": 2.0},
+        }
+        baseline = {
+            "solvers": {"sss_numpy_speedup": 2.5, "sss_compiled_speedup": 20.0}
+        }
+        failures = mod.check(measured, baseline, tol=0.30, tol_seconds=0.60)
+        assert len(failures) == 2
+        assert any("sss_numpy_speedup" in f for f in failures)
+        assert any("sss_compiled_speedup" in f for f in failures)
+
+    def test_solver_compiled_guard_skips_without_compiled_backend(self, capsys):
+        """numpy speedup measured but no compiled backend available: the
+        compiled guard must skip even when its baseline exists."""
+        mod = _load_module()
+        measured = {**self.MEASURED, "solvers": {"sss_numpy_speedup": 2.5}}
+        baseline = {
+            "solvers": {"sss_numpy_speedup": 2.5, "sss_compiled_speedup": 20.0}
+        }
+        failures = mod.check(measured, baseline, tol=0.30, tol_seconds=0.60)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "no compiled backend" in out
+
     def test_non_numeric_baseline_value_fails_not_crashes(self):
         mod = _load_module()
         baseline = {"vector_engine": {"single_sim": {"speedup": "fast!"}}}
