@@ -64,6 +64,7 @@ class _Daemon:
 
     def __init__(self, **config) -> None:
         self.service = MappingService(**config)
+        self.service.mark_ready()
         started = threading.Event()
         self._holder: dict = {}
 
@@ -92,6 +93,16 @@ class _Daemon:
         if resp.status != 200:
             raise RuntimeError(f"request failed ({resp.status}): {payload}")
         return payload
+
+    def post_raw(self, doc: dict) -> tuple:
+        """``(status, headers, payload)`` — sheds are data, not errors."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
+        conn.request("POST", "/map", json.dumps(doc), {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        headers = {k.lower(): v for k, v in resp.getheaders()}
+        conn.close()
+        return resp.status, headers, payload
 
     def stop(self) -> None:
         self._holder["loop"].call_soon_threadsafe(self._holder["stop"].set)
@@ -130,6 +141,164 @@ def measure_tracing_overhead(rounds: int = 2) -> dict:
         "overhead_ratio": round(best_on / best_off, 2),
         "requests_per_round": 2 * TRACE_PROBE,
     }
+
+
+OVERLOAD_WORKERS = 2
+OVERLOAD_INFLIGHT = 2  # == workers: admitted work never stalls on the pool
+OVERLOAD_QUEUE = 2  # shallow queue: bounded wait keeps accepted p99 honest
+OVERLOAD_FACTOR = 4  # closed-loop clients = factor x workers
+OVERLOAD_PER_CLIENT = 4  # unique problems each client pushes to acceptance
+OVERLOAD_MESH = 16  # heavy enough that solve time dominates HTTP overhead
+
+
+def overload_spec(index: int) -> dict:
+    """A heavier unique problem: 8 apps x 16 threads on a 16x16 mesh."""
+    shift = index * 1e-3
+    return {
+        "mesh": OVERLOAD_MESH,
+        "apps": [
+            {
+                "name": f"app{a}",
+                "cache_rates": [
+                    1.0 + shift + 0.1 * a + 0.01 * j for j in range(16)
+                ],
+                "mem_rates": [0.3 + shift + 0.02 * j for j in range(16)],
+            }
+            for a in range(8)
+        ],
+    }
+
+
+def _client_p99(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1, int(0.99 * len(ordered))))
+    return ordered[index]
+
+
+def measure_overload(rounds: int = 2) -> dict:
+    """Drive the daemon at 4x sustained saturation and report how it sheds.
+
+    Unloaded baseline: a fresh daemon solves unique problems
+    sequentially (client-side latency).  Overload: another fresh daemon
+    with a bounded pipe (``max_inflight``/``max_queue``, ``degrade=auto``)
+    is hammered by ``4 x workers`` closed-loop clients, each pushing its
+    own stream of unique problems and retrying on shed — the cache
+    cannot absorb the load, and the offered load stays at 4x capacity
+    for the whole window.  Every shed must be a 429/503 with
+    Retry-After (never a 500), and accepted attempts must stay fast —
+    degradation, not collapse.  Interleaved rounds, best round by
+    accepted-p99 ratio.  Also imported by ``check_regression.py`` to
+    guard ``service.overload``.
+    """
+    clients = OVERLOAD_FACTOR * OVERLOAD_WORKERS
+    problems = clients * OVERLOAD_PER_CLIENT
+
+    def unloaded_round() -> tuple[list[float], float]:
+        """1x load: as many closed-loop clients as workers, no caps.
+
+        This is the *capacity* measurement — full-fidelity answers at an
+        offered load the pool can sustain (no queueing beyond the pipe,
+        no shedding).  Latency here already includes the concurrency
+        cost of ``workers`` requests in flight, so the overload ratio
+        isolates what saturation *adds*.
+        """
+        daemon = _Daemon(workers=OVERLOAD_WORKERS)
+
+        def client(cid: int) -> list[float]:
+            samples = []
+            for k in range(OVERLOAD_PER_CLIENT * 2):
+                t0 = time.perf_counter()
+                daemon.post(overload_spec(1000 + cid * 100 + k))
+                samples.append(time.perf_counter() - t0)
+            return samples
+
+        try:
+            daemon.post(overload_spec(999))  # warm the per-daemon model memo
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=OVERLOAD_WORKERS) as pool:
+                per_client = list(pool.map(client, range(OVERLOAD_WORKERS)))
+            wall = time.perf_counter() - t0
+        finally:
+            daemon.stop()
+        samples = [t for cl in per_client for t in cl]
+        return samples, len(samples) / wall
+
+    def overload_round() -> tuple[list[float], int, int, float, int]:
+        daemon = _Daemon(
+            workers=OVERLOAD_WORKERS,
+            max_inflight=OVERLOAD_INFLIGHT,
+            max_queue=OVERLOAD_QUEUE,
+            degrade="auto",
+        )
+
+        def client(cid: int) -> tuple[list[float], int]:
+            accepted, sheds = [], 0
+            for k in range(OVERLOAD_PER_CLIENT):
+                spec = overload_spec(2000 + cid * OVERLOAD_PER_CLIENT + k)
+                for _attempt in range(200):
+                    t0 = time.perf_counter()
+                    status, headers, _payload = daemon.post_raw(spec)
+                    elapsed = time.perf_counter() - t0
+                    if status == 200:
+                        accepted.append(elapsed)
+                        break
+                    if status in (429, 503):
+                        if int(headers.get("retry-after", 0)) < 1:
+                            raise RuntimeError("shed response missing Retry-After")
+                        sheds += 1
+                        time.sleep(0.02)  # the bench cannot afford real Retry-After seconds
+                        continue
+                    raise RuntimeError(f"unexpected status under overload: {status}")
+                else:
+                    raise RuntimeError("request never accepted after 200 attempts")
+            return accepted, sheds
+
+        try:
+            daemon.post(overload_spec(999))  # warm the per-daemon model memo
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                per_client = list(pool.map(client, range(clients)))
+            wall = time.perf_counter() - t0
+            degraded = sum(
+                int(m.value)
+                for m in daemon.service.registry
+                if m.name == "serve_degraded_total"
+            )
+        finally:
+            daemon.stop()
+        accepted = [t for acc, _ in per_client for t in acc]
+        sheds = sum(s for _, s in per_client)
+        return accepted, sheds, degraded, wall, len(accepted) + sheds
+
+    best = None
+    for _ in range(max(1, rounds)):
+        unloaded, capacity_rps = unloaded_round()
+        accepted, sheds, degraded, wall, attempts = overload_round()
+        if sheds == 0:
+            raise RuntimeError("4x sustained load over a bounded pipe must shed")
+        unloaded_p99 = _client_p99(unloaded)
+        accepted_p99 = _client_p99(accepted)
+        stats = {
+            "clients": clients,
+            "saturation_factor": OVERLOAD_FACTOR,
+            "unique_problems": problems,
+            "attempts": attempts,
+            "served": len(accepted),
+            "shed": sheds,
+            "shed_rate": round(sheds / attempts, 3),
+            "degraded": degraded,
+            "unloaded_p99_seconds": round(unloaded_p99, 4),
+            "accepted_p99_seconds": round(accepted_p99, 4),
+            "p99_ratio": round(accepted_p99 / unloaded_p99, 3),
+            "goodput_rps": round(len(accepted) / wall, 2),
+            "capacity_rps": round(capacity_rps, 2),
+            "goodput_ratio": round(
+                (len(accepted) / wall) / capacity_rps, 3
+            ),
+        }
+        if best is None or stats["p99_ratio"] < best["p99_ratio"]:
+            best = stats
+    return best
 
 
 def run_benchmark() -> dict:
@@ -184,7 +353,11 @@ def run_benchmark() -> dict:
                 "service's serve_request_seconds histogram (what /metrics "
                 "exports).  obs_overhead compares an identical sequential "
                 "burst with request-span tracing on vs off (fresh daemons, "
-                "interleaved rounds, best-of-N).  Regenerate with: "
+                "interleaved rounds, best-of-N).  overload drives a bounded "
+                "pipe (max_inflight/max_queue, degrade=auto) at 4x "
+                "saturation with unique problems and reports shed rate, "
+                "goodput vs pool capacity, and the accepted-p99 vs unloaded-"
+                "p99 ratio.  Regenerate with: "
                 "PYTHONPATH=src python benchmarks/bench_serve.py --update"
             ),
             "request_latency_seconds": {
@@ -218,6 +391,8 @@ def run_benchmark() -> dict:
         daemon.stop()
     # -- tracing overhead: same burst, span tracing on vs off -----------
     section["obs_overhead"] = measure_tracing_overhead()
+    # -- overload: 4x saturation burst against a bounded pipe -----------
+    section["overload"] = measure_overload()
     return section
 
 

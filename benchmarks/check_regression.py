@@ -18,6 +18,13 @@ Guarded quantities and directions:
 * ``service.obs_overhead.overhead_ratio``-- must not RISE >30% (the serve
   daemon's request-span tracing, measured by bench_serve's interleaved
   on/off burst; tracing must stay close to free)
+* ``service.overload.goodput_ratio``     -- must not DROP >30% (accepted
+  throughput at 4x sustained saturation vs measured 1x capacity; the
+  degradation ladder must keep the daemon doing useful work, not
+  collapse under admission churn)
+* ``service.overload.p99_ratio``         -- must not RISE >30% (accepted
+  p99 at 4x saturation vs the 1x closed-loop p99; bounded queues plus
+  degradation must keep accepted requests fast while shedding the rest)
 * ``solvers.sss_numpy_speedup``          -- must not DROP >30% (the
   batched NumPy sweep vs the per-window reference on C1; also the guard
   behind the re-baselined ``benchmarks.test_scaling`` entry)
@@ -166,13 +173,15 @@ def measure(rounds: int) -> dict:
             best["fast"] / (best["jbatch"] / BATCH), 2
         )
     sys.path.insert(0, str(Path(__file__).resolve().parent))
-    from bench_serve import measure_tracing_overhead
+    from bench_serve import measure_overload, measure_tracing_overhead
     from bench_solvers import measure_solvers
 
     serve_obs = measure_tracing_overhead(rounds=min(2, rounds))
     measured["serve_obs_off_seconds"] = serve_obs["off_seconds"]
     measured["serve_obs_on_seconds"] = serve_obs["tracing_on_seconds"]
     measured["serve_tracing_ratio"] = serve_obs["overhead_ratio"]
+    # Overload shedding/goodput (asserts zero-500s + Retry-After itself).
+    measured["serve_overload"] = measure_overload(rounds=min(2, rounds))
     # Solver-kernel speedups (asserts backend bit-identity internally).
     measured["solvers"] = measure_solvers(rounds=rounds)
     return measured
@@ -305,6 +314,27 @@ def check(measured: dict, baseline: dict, tol: float, tol_seconds: float) -> lis
             "  service.obs_overhead.overhead_ratio         ------- "
             "(serve probe not measured) skip"
         )
+    if "serve_overload" in measured:
+        overload = _section(baseline, "service", "overload")
+        guard(
+            "service.overload.goodput_ratio",
+            measured["serve_overload"]["goodput_ratio"],
+            overload.get("goodput_ratio"),
+            worse_is_higher=False,
+            tolerance=tol,
+        )
+        guard(
+            "service.overload.p99_ratio",
+            measured["serve_overload"]["p99_ratio"],
+            overload.get("p99_ratio"),
+            worse_is_higher=True,
+            tolerance=tol,
+        )
+    else:
+        print(
+            "  service.overload.*                          ------- "
+            "(overload probe not measured) skip"
+        )
     solvers = _section(baseline, "solvers")
     solver_measured = measured.get("solvers", {})
     if "sss_numpy_speedup" in solver_measured:
@@ -382,6 +412,8 @@ def update(measured: dict, baseline: dict) -> dict:
             tracing_on_seconds=measured["serve_obs_on_seconds"],
             overhead_ratio=measured["serve_tracing_ratio"],
         )
+    if "serve_overload" in measured:
+        baseline.setdefault("service", {})["overload"] = measured["serve_overload"]
     if "solvers" in measured:
         # Refresh the timing/speedup keys only: descriptions, backend
         # snapshot, and the serve_cache_miss probe stay bench_solvers.py's.

@@ -383,6 +383,20 @@ def _cmd_trace(args) -> int:
 def _cmd_bound(args) -> int:
     instance = _build_instance(args)
     lb = max_apl_lower_bound(instance)
+    if args.json:
+        # Canonical JSON, byte-identical to the serve daemon's degraded
+        # bounds_only answers (the golden suite pins this equivalence).
+        import json
+
+        from repro.experiments.resilience import json_safe
+
+        doc = {
+            "value": lb.value,
+            "mean_bound": lb.mean_bound,
+            "per_app_bound": lb.per_app_bound,
+        }
+        print(json.dumps(json_safe(doc), sort_keys=True, separators=(",", ":")))
+        return 0
     print(
         f"max-APL lower bound: {lb.value:.4f} "
         f"(mean bound {lb.mean_bound:.4f}, per-app bound {lb.per_app_bound:.4f})"
@@ -418,7 +432,14 @@ def _cmd_serve(args) -> int:
         task_timeout=args.task_timeout,
         retries=args.retries,
         failure_budget=args.failure_budget,
-        trace=args.trace or args.trace_out is not None,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline=args.default_deadline,
+        degrade=args.degrade,
+        drain_timeout=args.drain_timeout,
+        flight_out=args.flight_out,
+        trace=args.trace or args.trace_out is not None
+        or args.flight_out is not None,
         trace_clock=args.trace_clock,
         trace_buffer=args.trace_buffer,
         flight_recorder=args.flight_recorder,
@@ -562,6 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
         default=["global", "sss"],
     )
+    p_bound.add_argument(
+        "--json", action="store_true",
+        help="print only the bound as canonical JSON (skips algorithm gaps)",
+    )
     p_bound.set_defaults(func=_cmd_bound)
 
     p_serve = sub.add_parser(
@@ -598,6 +623,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-budget", type=int, default=None,
         help="total failed attempts tolerated before the service answers "
         "503 (default REPRO_FAILURE_BUDGET or unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admission tokens: concurrent requests past the door "
+        "(default workers * 4)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=128,
+        help="bounded admission queue; a full queue sheds with 429 + "
+        "Retry-After (default 128)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="server-side deadline for requests that carry no 'timeout' "
+        "field (default: none)",
+    )
+    p_serve.add_argument(
+        "--degrade", choices=["off", "auto", "bounds_only", "cached_nearest"],
+        default="auto",
+        help="degradation ladder mode: 'auto' follows load/deadline "
+        "pressure, 'off' never degrades, a level name forces it",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="max wait for in-flight requests on POST /shutdown before "
+        "stopping anyway (default 10)",
+    )
+    p_serve.add_argument(
+        "--flight-out", metavar="PATH",
+        help="write the deterministic final flight-recorder dump here on "
+        "drain (implies --trace)",
     )
     p_serve.add_argument(
         "--trace", action="store_true",

@@ -49,12 +49,14 @@ __all__ = [
     "PermutationBatchEvaluator",
     "resolve_backend",
     "force_backend",
+    "pin_backend",
     "backend_info",
     "warmup",
     "sweep_pass_inplace",
 ]
 
 _FORCED: str | None = None
+_PINNED: str | None = None
 _VALID_BACKENDS = ("numba", "cc", "interp", "numpy", "reference")
 
 
@@ -67,6 +69,8 @@ def resolve_backend() -> str:
     """The solver-kernel backend the dispatchers will use right now."""
     if _FORCED is not None:
         return _FORCED
+    if _PINNED is not None:
+        return _PINNED
     env = os.environ.get("REPRO_JIT", "").strip().lower()
     if env == "interp":
         return "interp"
@@ -102,6 +106,21 @@ def force_backend(name: str):
         yield
     finally:
         _FORCED = previous
+
+
+def pin_backend(name: str | None) -> None:
+    """Stickily pin (or with ``None`` unpin) the kernel backend.
+
+    Unlike :func:`force_backend` this is not scoped to a block: the serve
+    daemon's circuit breakers pin ``numpy`` when a compiled backend trips
+    and unpin once the breaker's cooldown admits a probe.  A scoped
+    ``force_backend`` (tests) still wins over a pin.  All backends are
+    bit-identical, so a pin changes cost, never bytes.
+    """
+    global _PINNED
+    if name is not None and name not in _VALID_BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {_VALID_BACKENDS}")
+    _PINNED = name
 
 
 def backend_info() -> dict:

@@ -93,6 +93,12 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = value
 
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
 
 class Histogram:
     """A fixed-bucket distribution with cumulative-bucket export.

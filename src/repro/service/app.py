@@ -17,9 +17,24 @@ Endpoints
     Prometheus text exposition of the service registry: request latency
     percentiles, cache hit/miss counters, batch occupancy, queue depth.
 ``GET /healthz``
-    Liveness plus the supervision :class:`RunReport` and cache counters.
+    Liveness plus the supervision :class:`RunReport`, cache counters,
+    admission state, and circuit-breaker snapshot.
+``GET /readyz``
+    Readiness: 503 until kernel warmup finishes and while draining.
+    The CI smoke job polls this before sending work.
 ``POST /shutdown``
-    Clean shutdown (the CI smoke job uses it).
+    Graceful drain: stop admitting, flush in-flight work, write the
+    deterministic final flight-recorder dump, then stop.
+
+Overload behaviour
+------------------
+Admission control (:mod:`repro.service.admission`) bounds concurrency
+and queueing; excess work is shed with 429/503 + ``Retry-After``.  Under
+pressure or an infeasible deadline the degradation ladder
+(:mod:`repro.service.degrade`) trades fidelity for survival:
+full → bounds-only → cached-nearest → shed.  Per-backend circuit
+breakers route around wedged compiled kernels to the bit-identical
+NumPy fallbacks.
 
 Caching semantics
 -----------------
@@ -55,9 +70,26 @@ from repro.experiments.resilience import (
 from repro.obs import reqtrace
 from repro.obs.metrics import MetricsRegistry, SECONDS_BUCKETS
 from repro.obs.reqtrace import SpanTracer
+from repro.service.admission import (
+    AdmissionController,
+    BreakerBoard,
+    Deadline,
+    DeadlineExpired,
+    EwmaEstimate,
+    ShedError,
+    deadline_scope,
+    detach_deadline,
+)
 from repro.service.batcher import SimulationBatcher
 from repro.service.cache import LRUCache, ModelMemo
 from repro.service.canonical import CanonicalRequest, canonicalize
+from repro.service.degrade import (
+    LEVEL_BOUNDS,
+    LEVEL_FULL,
+    LEVEL_STALE,
+    DegradeController,
+    NearestIndex,
+)
 from repro.service.flightrec import FlightRecorder
 from repro.service.workers import WorkerPool
 
@@ -133,6 +165,14 @@ class MappingService:
         trace_clock: str = "wall",
         trace_buffer: int = 65_536,
         flight_recorder: int = 64,
+        max_inflight: int | None = None,
+        max_queue: int = 128,
+        default_deadline: float | None = None,
+        degrade: str = "auto",
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
+        drain_timeout: float = 10.0,
+        flight_out: str | None = None,
     ) -> None:
         self.registry = MetricsRegistry()
         self.report = RunReport()
@@ -163,6 +203,37 @@ class MappingService:
             runner=batch_runner,
         )
         self._inflight: dict = {}
+        self.default_deadline = default_deadline
+        self.drain_timeout = drain_timeout
+        self.flight_out = flight_out
+        self._flight_dumped = False
+        self.ready = False
+        self.draining = False
+        self.admission = AdmissionController(
+            max_inflight=max_inflight if max_inflight is not None else workers * 4,
+            max_queue=max_queue,
+            registry=self.registry,
+            health=self._admission_health,
+        )
+        self.degrade = DegradeController(degrade, registry=self.registry)
+        self.nearest = NearestIndex(capacity=cache_size)
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold,
+            reset_after=breaker_reset,
+            registry=self.registry,
+        )
+        # The backend the kernels *would* pick with no breaker pin active;
+        # resolved once so a tripped breaker (which pins numpy) does not
+        # hide which compiled backend we should probe when it cools down.
+        self._kernel_backend = permkernels.resolve_backend()
+        for backend in ("numba", "cc"):
+            self.breakers.configure(
+                backend,
+                on_open=lambda: permkernels.pin_backend("numpy"),
+                on_close=lambda: permkernels.pin_backend(None),
+            )
+        #: EWMA of one full solve's wall cost, feeding degrade decisions.
+        self.solve_cost = EwmaEstimate()
         self._m_latency = self.registry.histogram(
             "serve_request_seconds",
             "end-to-end /map request latency",
@@ -179,9 +250,86 @@ class MappingService:
             "serve_cache_hit_ratio", "lru+coalesced hits over all lookups"
         )
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def _admission_health(self) -> tuple | None:
+        """Server-side refusal reasons, checked before any queueing."""
+        if self.draining:
+            return "draining", 503
+        if self.pool.budget_exhausted:
+            return "pool_unhealthy", 503
+        return None
+
+    def mark_ready(self) -> None:
+        """Flip /readyz to 200 (called after kernel warmup completes)."""
+        self.ready = True
+
+    def readiness(self) -> tuple[int, dict]:
+        """The ``GET /readyz`` answer: readiness, not liveness."""
+        if self.draining:
+            return 503, {"status": "draining"}
+        if not self.ready:
+            return 503, {"status": "starting"}
+        return 200, {"status": "ready", "backend": permkernels.resolve_backend()}
+
+    def begin_drain(self, stop: asyncio.Event) -> dict:
+        """Start a graceful drain; returns the ``POST /shutdown`` document.
+
+        New work is shed immediately (``draining``); a background task
+        waits for in-flight requests to finish (up to ``drain_timeout``),
+        flushes the batcher, writes the deterministic final
+        flight-recorder dump, and only then stops the server.  Idempotent:
+        a second POST reports progress without starting a second drain.
+        """
+        response = {"status": "draining", "inflight": self.admission.inflight}
+        if self.draining:
+            return response
+        self.draining = True
+        self.ready = False
+
+        async def drain() -> None:
+            clean = await self.admission.wait_idle(self.drain_timeout)
+            if not clean:
+                logger.warning(
+                    "drain timed out after %.1fs with %d request(s) in flight",
+                    self.drain_timeout,
+                    self.admission.inflight,
+                )
+            await self.batcher.drain()
+            self.final_flight_dump()
+            stop.set()
+
+        asyncio.get_running_loop().create_task(drain())
+        return response
+
+    def final_flight_dump(self) -> None:
+        """Write the flight-recorder dump to ``flight_out``, exactly once.
+
+        ``sort_keys`` canonical JSON: two drains of the same request
+        stream produce identical bytes.
+        """
+        if self._flight_dumped or self.flight_out is None:
+            return
+        self._flight_dumped = True
+        dump = json.dumps(json_safe(self.debug_requests()), sort_keys=True, indent=2)
+        with open(self.flight_out, "w") as fh:
+            fh.write(dump + "\n")
+        logger.info("wrote final flight record to %s", self.flight_out)
+
     # -- request parsing ---------------------------------------------------
 
     def _parse(self, payload: dict):
+        """Parse defensively: malformed shapes become 400s, never 500s."""
+        try:
+            return self._parse_spec(payload)
+        except RequestError:
+            raise
+        except (TypeError, ValueError, KeyError, IndexError, AttributeError) as exc:
+            raise RequestError(
+                f"malformed request: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _parse_spec(self, payload: dict):
         if not isinstance(payload, dict):
             raise RequestError("request body must be a JSON object")
         spec = dict(payload)
@@ -237,6 +385,9 @@ class MappingService:
             timeout = float(timeout)
             if timeout <= 0:
                 raise RequestError("timeout must be positive")
+        allow_degrade = spec.get("degrade", True)
+        if not isinstance(allow_degrade, bool):
+            raise RequestError("'degrade' must be a boolean")
 
         try:
             canon = canonicalize(spec)
@@ -245,7 +396,10 @@ class MappingService:
         app_names = [
             str(a.get("name", f"app{i}")) for i, a in enumerate(spec["apps"])
         ]
-        return canon, spec["apps"], app_names, algorithm, want_bounds, simulate, sim, timeout
+        return (
+            canon, spec["apps"], app_names, algorithm, want_bounds,
+            simulate, sim, timeout, allow_degrade,
+        )
 
     def _request_instance(self, canon: CanonicalRequest, apps_doc) -> OBMInstance:
         """The instance in *request* labels, on the memoized latency model.
@@ -286,6 +440,10 @@ class MappingService:
             return entry, "hit"
 
         async def fill():
+            # A fill outlives its requester: it serves every later
+            # duplicate, so it must not inherit the requester's deadline
+            # (a timed-out unique problem is still a cache hit on retry).
+            detach_deadline()
             entry = await compute()
             self.cache.put(key, entry)
             return entry
@@ -312,8 +470,25 @@ class MappingService:
 
     # -- solve path --------------------------------------------------------
 
+    def _solve_breaker(self):
+        """The breaker guarding the compiled solver backend, if any.
+
+        Calling :meth:`CircuitBreaker.blocked` here is what moves an open
+        breaker to half-open after its cooldown (unpinning the NumPy
+        fallback so probes hit the real backend again).  While open, the
+        pin routes solves to NumPy and those runs are *not* charged to
+        the compiled backend's breaker.
+        """
+        if self._kernel_backend not in ("numba", "cc"):
+            return None
+        breaker = self.breakers.get(self._kernel_backend)
+        if breaker.blocked():
+            return None
+        return breaker
+
     def _solve_sync(self, canon: CanonicalRequest, apps_doc, algorithm: str, want_bounds: bool) -> dict:
         """Blocking solve in request labels; returns the canonical entry."""
+        t0 = time.perf_counter()
         with reqtrace.span("worker.solve", algorithm=algorithm) as solve_span:
             instance = self._request_instance(canon, apps_doc)
             result = ALGORITHMS[algorithm](instance)
@@ -353,7 +528,26 @@ class MappingService:
                 help="relative gap between achieved max-APL and certified lower bound",
                 algorithm=algorithm,
             )
+        self.solve_cost.observe(time.perf_counter() - t0)
         return _roundtrip(entry)
+
+    def _bounds_sync(self, canon: CanonicalRequest, apps_doc) -> dict:
+        """Blocking bounds-only computation (no solve, no permutation).
+
+        The returned document is byte-identical to what
+        ``python -m repro bound --json`` prints for the same problem —
+        a degraded answer is still a *certified* answer.
+        """
+        with reqtrace.span("worker.bounds"):
+            instance = self._request_instance(canon, apps_doc)
+            lb = max_apl_lower_bound(instance)
+        return _roundtrip(
+            {
+                "value": lb.value,
+                "mean_bound": lb.mean_bound,
+                "per_app_bound": lb.per_app_bound,
+            }
+        )
 
     def _mapping_for(self, canon: CanonicalRequest, entry: dict) -> Mapping:
         """Full request-label permutation from a canonical entry."""
@@ -393,8 +587,13 @@ class MappingService:
                 instance.mesh, traffic, warmup=sim["warmup"], measure=sim["measure"]
             )
         else:
+            breaker = (
+                self.breakers.get("vector-jit")
+                if sim["engine"] == "vector-jit"
+                else None
+            )
             result = await self.pool.run(
-                self._simulate_single_sync, instance, mapping, sim
+                self._simulate_single_sync, instance, mapping, sim, breaker=breaker
             )
         payload = measured_payload(result)
         # Store per-app containers in canonical order so relabeled
@@ -414,77 +613,243 @@ class MappingService:
 
     # -- the endpoint ------------------------------------------------------
 
+    async def _respond_full(
+        self, canon, apps_doc, app_names, algorithm, want_bounds, simulate, sim
+    ) -> dict:
+        """The full-fidelity path — byte-identical to the pre-ladder daemon."""
+        problem_fp = canon.problem.fingerprint
+        solve_key = config_fingerprint(
+            "serve.solve",
+            problem=problem_fp,
+            algorithm=algorithm,
+            bounds=want_bounds,
+        )
+        entry, solve_kind = await self._cached(
+            solve_key,
+            lambda: self.pool.run(
+                self._solve_sync, canon, apps_doc, algorithm, want_bounds,
+                breaker=self._solve_breaker(),
+            ),
+        )
+        # Any solved entry (fresh or cached) is a donor for stale serving
+        # of same-shape problems under overload.
+        self.nearest.put(
+            NearestIndex.shape_key(canon.problem, algorithm, want_bounds),
+            solve_key,
+            problem_fp,
+        )
+        result = {
+            "algorithm": entry["algorithm"],
+            "apps": app_names,
+            "perm": canon.perm_from_canonical(entry["perm"]),
+            "evaluation": {
+                "apls": canon.by_app_from_canonical(entry["apls"]),
+                "max_apl": entry["max_apl"],
+                "dev_apl": entry["dev_apl"],
+                "g_apl": entry["g_apl"],
+                "min_max_ratio": entry["min_max_ratio"],
+            },
+            "bounds": entry["bounds"],
+        }
+        meta = {
+            "fingerprint": problem_fp,
+            "cache": solve_kind,
+        }
+        reqtrace.annotate(cache=solve_kind)
+        if simulate:
+            if sim["engine"] == "vector-jit" and self.breakers.get("vector-jit").blocked():
+                # Tripped compiled engine: route to the bit-identical
+                # interpreted vector engine *before* the cache key is
+                # computed, so rerouted responses stay deterministic.
+                sim = dict(sim, engine="vector")
+                meta["sim_rerouted"] = "vector"
+                reqtrace.annotate(sim_rerouted="vector")
+            sim_key = config_fingerprint(
+                "serve.sim", problem=problem_fp, algorithm=algorithm, sim=sim
+            )
+            mentry, sim_kind = await self._cached(
+                sim_key,
+                lambda: self._simulate(canon, apps_doc, entry, sim),
+                stage="sim",
+            )
+            measured = {
+                k: v
+                for k, v in mentry.items()
+                if k not in ("apls", "percentiles")
+            }
+            measured["apls"] = canon.by_app_from_canonical(mentry["apls"])
+            measured["percentiles"] = canon.by_app_from_canonical(
+                mentry["percentiles"]
+            )
+            result["measured"] = measured
+            meta["sim_cache"] = sim_kind
+        return {"result": result, "meta": meta}
+
+    async def _respond_bounds(self, canon, apps_doc, app_names, algorithm) -> dict:
+        """Degraded rung 1: the certified bound alone, no solve."""
+        problem_fp = canon.problem.fingerprint
+        bounds_key = config_fingerprint("serve.bounds", problem=problem_fp)
+        entry, kind = await self._cached(
+            bounds_key,
+            lambda: self.pool.run(self._bounds_sync, canon, apps_doc),
+            stage="bounds",
+        )
+        reqtrace.annotate(cache=kind)
+        result = {
+            "algorithm": algorithm,
+            "apps": app_names,
+            "perm": None,
+            "evaluation": None,
+            "bounds": entry,
+            "degraded": LEVEL_BOUNDS,
+        }
+        meta = {"fingerprint": problem_fp, "cache": kind, "degraded": LEVEL_BOUNDS}
+        return {"result": result, "meta": meta}
+
+    async def _respond_stale(
+        self, canon, apps_doc, app_names, algorithm, want_bounds
+    ) -> tuple[dict, str]:
+        """Degraded rung 2: the freshest same-shape cached solve, marked stale.
+
+        Falls back to ``bounds_only`` when no donor exists; returns
+        ``(document, actual_level)``.  A served stale answer schedules a
+        background revalidation of the real entry (stale-while-revalidate)
+        when capacity allows.
+        """
+        problem_fp = canon.problem.fingerprint
+        shape = NearestIndex.shape_key(canon.problem, algorithm, want_bounds)
+        donor = self.nearest.get(shape)
+        entry = donor_fp = None
+        if donor is not None:
+            donor_key, donor_fp = donor
+            entry = self.cache.get(donor_key)
+        if entry is None:
+            doc = await self._respond_bounds(canon, apps_doc, app_names, algorithm)
+            return doc, LEVEL_BOUNDS
+        result = {
+            "algorithm": entry["algorithm"],
+            "apps": app_names,
+            "perm": canon.perm_from_canonical(entry["perm"]),
+            "evaluation": {
+                "apls": canon.by_app_from_canonical(entry["apls"]),
+                "max_apl": entry["max_apl"],
+                "dev_apl": entry["dev_apl"],
+                "g_apl": entry["g_apl"],
+                "min_max_ratio": entry["min_max_ratio"],
+            },
+            "bounds": entry["bounds"],
+            "degraded": LEVEL_STALE,
+        }
+        meta = {
+            "fingerprint": problem_fp,
+            "cache": "stale",
+            "degraded": LEVEL_STALE,
+            "stale_fingerprint": donor_fp,
+        }
+        reqtrace.annotate(cache="stale")
+        self._revalidate(canon, apps_doc, algorithm, want_bounds)
+        return {"result": result, "meta": meta}, LEVEL_STALE
+
+    def _revalidate(self, canon, apps_doc, algorithm, want_bounds) -> None:
+        """Fire-and-forget fill of the real entry behind a stale answer."""
+        problem_fp = canon.problem.fingerprint
+        solve_key = config_fingerprint(
+            "serve.solve", problem=problem_fp, algorithm=algorithm, bounds=want_bounds
+        )
+        if solve_key in self._inflight or self.cache.get(solve_key) is not None:
+            return
+        if self.admission.inflight >= self.admission.max_inflight:
+            # Saturated: a revalidation would steal a worker from live
+            # traffic.  The next stale hit retries when pressure drops.
+            return
+        self.registry.counter(
+            "serve_revalidate_total", "background fills behind stale answers"
+        ).inc()
+
+        async def refill() -> None:
+            detach_deadline()
+            try:
+                await self._cached(
+                    solve_key,
+                    lambda: self.pool.run(
+                        self._solve_sync, canon, apps_doc, algorithm, want_bounds,
+                        breaker=self._solve_breaker(),
+                    ),
+                )
+                self.nearest.put(
+                    NearestIndex.shape_key(canon.problem, algorithm, want_bounds),
+                    solve_key,
+                    problem_fp,
+                )
+            except Exception:  # noqa: BLE001 - best-effort background work
+                logger.debug("stale revalidation failed", exc_info=True)
+
+        asyncio.get_running_loop().create_task(refill())
+
     async def map_request(self, payload: dict) -> dict:
         """Serve one ``POST /map`` body; returns the response document."""
         t0 = time.perf_counter()
         with reqtrace.span("canonicalize"):
             parsed = self._parse(payload)
-        canon, apps_doc, app_names, algorithm, want_bounds, simulate, sim, timeout = parsed
+        (
+            canon, apps_doc, app_names, algorithm, want_bounds,
+            simulate, sim, timeout, allow_degrade,
+        ) = parsed
         reqtrace.annotate(
             fingerprint=canon.problem.fingerprint,
             algorithm=algorithm,
             simulate=simulate,
         )
+        budget = timeout if timeout is not None else self.default_deadline
+        deadline = None if budget is None else Deadline(budget)
 
-        async def respond() -> dict:
-            problem_fp = canon.problem.fingerprint
-            solve_key = config_fingerprint(
-                "serve.solve",
-                problem=problem_fp,
-                algorithm=algorithm,
-                bounds=want_bounds,
-            )
-            entry, solve_kind = await self._cached(
-                solve_key,
-                lambda: self.pool.run(
-                    self._solve_sync, canon, apps_doc, algorithm, want_bounds
-                ),
-            )
-            result = {
-                "algorithm": entry["algorithm"],
-                "apps": app_names,
-                "perm": canon.perm_from_canonical(entry["perm"]),
-                "evaluation": {
-                    "apls": canon.by_app_from_canonical(entry["apls"]),
-                    "max_apl": entry["max_apl"],
-                    "dev_apl": entry["dev_apl"],
-                    "g_apl": entry["g_apl"],
-                    "min_max_ratio": entry["min_max_ratio"],
-                },
-                "bounds": entry["bounds"],
-            }
-            meta = {
-                "fingerprint": problem_fp,
-                "cache": solve_kind,
-            }
-            reqtrace.annotate(cache=solve_kind)
-            if simulate:
-                sim_key = config_fingerprint(
-                    "serve.sim", problem=problem_fp, algorithm=algorithm, sim=sim
+        async def admitted() -> dict:
+            async with self.admission.admit():
+                level = self.degrade.level_for(
+                    pressure=self.admission.pressure,
+                    remaining=None if deadline is None else deadline.remaining(),
+                    estimate=self.solve_cost.value,
+                    allow=allow_degrade,
                 )
-                mentry, sim_kind = await self._cached(
-                    sim_key,
-                    lambda: self._simulate(canon, apps_doc, entry, sim),
-                    stage="sim",
-                )
-                measured = {
-                    k: v
-                    for k, v in mentry.items()
-                    if k not in ("apls", "percentiles")
-                }
-                measured["apls"] = canon.by_app_from_canonical(mentry["apls"])
-                measured["percentiles"] = canon.by_app_from_canonical(
-                    mentry["percentiles"]
-                )
-                result["measured"] = measured
-                meta["sim_cache"] = sim_kind
-            return {"result": result, "meta": meta}
+                if level == LEVEL_STALE:
+                    doc, level = await self._respond_stale(
+                        canon, apps_doc, app_names, algorithm, want_bounds
+                    )
+                elif level == LEVEL_BOUNDS:
+                    doc = await self._respond_bounds(
+                        canon, apps_doc, app_names, algorithm
+                    )
+                else:
+                    doc = await self._respond_full(
+                        canon, apps_doc, app_names, algorithm,
+                        want_bounds, simulate, sim,
+                    )
+                self.degrade.record(level)
+                if level != LEVEL_FULL:
+                    reqtrace.annotate(degraded=level)
+                if self.breakers.trips:
+                    reqtrace.annotate(breaker_trips=self.breakers.trips)
+                return doc
 
         try:
-            if timeout is not None:
-                doc = await asyncio.wait_for(respond(), timeout=timeout)
-            else:
-                doc = await respond()
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    try:
+                        doc = await asyncio.wait_for(
+                            admitted(), timeout=deadline.remaining()
+                        )
+                    except DeadlineExpired:
+                        raise  # already counted at the stage that refused
+                    except asyncio.TimeoutError:
+                        self.registry.counter(
+                            "serve_deadline_expired_total",
+                            "requests whose deadline expired before a "
+                            "resource was claimed",
+                            at="request",
+                        ).inc()
+                        raise
+                else:
+                    doc = await admitted()
         finally:
             self._m_latency.observe(time.perf_counter() - t0)
         self._m_requests.inc()
@@ -517,6 +882,8 @@ class MappingService:
             "algorithm": attrs.get("algorithm"),
             "cache": attrs.get("cache"),
             "batch_occupancy": attrs.get("batch_occupancy"),
+            "degraded": attrs.get("degraded"),
+            "breaker_trips": attrs.get("breaker_trips"),
             "retries": ctx.notes.get("retries", 0),
             "error": payload.get("error") if isinstance(payload, dict) else None,
             # the root span is the last to end; its wall clock is the
@@ -592,6 +959,19 @@ class MappingService:
                 "requests_batched": self.batcher.requests_batched,
             },
             "solvers": permkernels.backend_info(),
+            "admission": {
+                "inflight": self.admission.inflight,
+                "waiting": self.admission.waiting,
+                "max_inflight": self.admission.max_inflight,
+                "max_queue": self.admission.max_queue,
+                "admitted": self.admission.admitted_total,
+                "shed": self.admission.shed_total,
+                "pressure": self.admission.pressure,
+            },
+            "breakers": self.breakers.snapshot(),
+            "degrade_mode": self.degrade.mode,
+            "ready": self.ready,
+            "draining": self.draining,
             "report": self.report.as_dict(),
         }
 
@@ -601,10 +981,14 @@ class MappingService:
 # ----------------------------------------------------------------------
 
 _MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADERS = 256
 
 
 async def _read_request(reader: asyncio.StreamReader):
-    request_line = await reader.readline()
+    try:
+        request_line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise RequestError("request line too long") from None
     if not request_line:
         return None
     try:
@@ -612,33 +996,51 @@ async def _read_request(reader: asyncio.StreamReader):
     except ValueError:
         raise RequestError("malformed request line") from None
     headers = {}
-    while True:
-        line = await reader.readline()
+    for _ in range(_MAX_HEADERS):
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise RequestError("header line too long") from None
         if line in (b"\r\n", b"\n", b""):
             break
-        name, _, value = line.decode("latin-1").partition(":")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise RequestError("malformed header line")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", 0) or 0)
+    else:
+        raise RequestError(f"more than {_MAX_HEADERS} headers")
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise RequestError(f"invalid content-length {raw_length!r}") from None
+    if length < 0:
+        raise RequestError("negative content-length")
     if length > _MAX_BODY:
         raise RequestError(f"body exceeds {_MAX_BODY} bytes")
     body = await reader.readexactly(length) if length else b""
     return method.upper(), path, headers, body
 
 
-def _response_bytes(status: int, payload, content_type: str) -> bytes:
+def _response_bytes(
+    status: int, payload, content_type: str, extra_headers: dict | None = None
+) -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-               500: "Internal Server Error", 503: "Service Unavailable",
-               504: "Gateway Timeout"}
+               429: "Too Many Requests", 500: "Internal Server Error",
+               503: "Service Unavailable", 504: "Gateway Timeout"}
     if isinstance(payload, (dict, list)):
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
     else:
         body = str(payload).encode()
-    head = (
-        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-        f"Content-Type: {content_type}\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n\r\n"
-    ).encode("latin-1")
+    lines = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
 
 
@@ -654,6 +1056,7 @@ async def serve(
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         status, payload, ctype = 500, {"error": "internal error"}, "application/json"
+        headers_out: dict = {}
         trace_ctx = None
         try:
             request = await _read_request(reader)
@@ -680,21 +1083,38 @@ async def serve(
                 status, payload, ctype = 200, text, "text/plain; version=0.0.4"
             elif route == ("GET", "/healthz"):
                 status, payload = 200, service.health()
+            elif route == ("GET", "/readyz"):
+                status, payload = service.readiness()
             elif route == ("GET", "/debug/requests"):
                 status, payload = 200, json_safe(service.debug_requests())
             elif route == ("POST", "/shutdown"):
-                status, payload = 200, {"status": "shutting down"}
-                stop.set()
+                status, payload = 200, service.begin_drain(stop)
             else:
                 status, payload = 404, {"error": f"no route {method} {path}"}
         except RequestError as exc:
             status, payload = 400, {"error": str(exc)}
+        except ShedError as exc:
+            status = exc.status
+            payload = {
+                "error": str(exc),
+                "reason": exc.reason,
+                "retry_after": exc.retry_after,
+            }
+            headers_out["Retry-After"] = str(exc.retry_after)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             status, payload = 400, {"error": f"invalid JSON body: {exc}"}
         except asyncio.TimeoutError:
-            status, payload = 504, {"error": "request timed out"}
+            # Includes DeadlineExpired; the hint tells clients when a
+            # retry is likely to finish in time (and hit the cache the
+            # timed-out fill is still warming).
+            retry_after = service.admission.retry_after()
+            status, payload = 504, {
+                "error": "request timed out", "retry_after": retry_after,
+            }
+            headers_out["Retry-After"] = str(retry_after)
         except FailureBudgetExceeded as exc:
             status, payload = 503, {"error": str(exc)}
+            headers_out["Retry-After"] = str(service.admission.retry_after())
         except asyncio.IncompleteReadError:
             writer.close()
             return
@@ -706,7 +1126,7 @@ async def serve(
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         service.finish_flight_record(trace_ctx, status, payload)
         try:
-            writer.write(_response_bytes(status, payload, ctype))
+            writer.write(_response_bytes(status, payload, ctype, headers_out))
             await writer.drain()
             writer.close()
         except ConnectionError:
@@ -719,11 +1139,15 @@ async def serve(
 
 
 async def _serve_until_stopped(service: MappingService, host: str, port: int, ready=None) -> None:
-    await service.warm_kernels()
+    # The server binds *before* kernel warmup so orchestration can poll
+    # GET /readyz (503 "starting") while the backend compiles; /readyz
+    # flips to 200 only once the kernels and the pool are up.
     server, bound_port, stop = await serve(service, host, port)
-    if ready is not None:
-        ready(bound_port)
     try:
+        if ready is not None:
+            ready(bound_port)
+        await service.warm_kernels()
+        service.mark_ready()
         await stop.wait()
     finally:
         server.close()
@@ -744,6 +1168,8 @@ def run_service(
         asyncio.run(_serve_until_stopped(service, host, port, ready))
     except KeyboardInterrupt:
         pass
+    # SIGINT skips the drain path; the final dump is idempotent.
+    service.final_flight_dump()
     if trace_out is not None and service.tracer is not None:
         from repro.obs.exporters import write_trace_jsonl
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.noc.vector_engine import run_batch
 from repro.obs import reqtrace
+from repro.service.admission import DeadlineExpired, current_deadline
 
 __all__ = ["BatchRequest", "SimulationBatcher"]
 
@@ -44,6 +45,8 @@ class BatchRequest:
     trace_id: int | None = None
     #: how many requests shared this request's run_batch call
     occupancy: int = 0
+    #: the submitting request's deadline (None = unbounded or detached)
+    deadline: object = None
 
 
 class SimulationBatcher:
@@ -101,6 +104,7 @@ class SimulationBatcher:
         request = BatchRequest(mesh, traffic, int(warmup), int(measure))
         request.future = loop.create_future()
         request.trace_id = reqtrace.current_trace_id()
+        request.deadline = current_deadline()
         key = self._group_key(request)
         with reqtrace.span("batch.enqueue") as enq:
             group = self._pending.setdefault(key, [])
@@ -119,7 +123,23 @@ class SimulationBatcher:
         timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
-        batch = [r for r in self._pending.pop(key, []) if not r.future.cancelled()]
+        batch = []
+        for r in self._pending.pop(key, []):
+            if r.future.cancelled():
+                continue
+            if r.deadline is not None and r.deadline.expired:
+                # Expired work never claims a batch seat: answer the
+                # waiter (if any is left) instead of simulating for it.
+                if self._registry is not None:
+                    self._registry.counter(
+                        "serve_deadline_expired_total",
+                        "requests whose deadline expired before a "
+                        "resource was claimed",
+                        at="batch",
+                    ).inc()
+                r.future.set_exception(DeadlineExpired("batch"))
+                continue
+            batch.append(r)
         self._set_depth()
         if not batch:
             return

@@ -38,6 +38,7 @@ from repro.experiments.parallel import (
     resolve_retries,
     resolve_timeout,
 )
+from repro.service.admission import DeadlineExpired, current_deadline
 
 __all__ = ["WorkerPool"]
 
@@ -90,6 +91,30 @@ class WorkerPool:
         if self._sem is None:
             self._sem = asyncio.Semaphore(self.workers)
         return self._sem
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True once the failure budget is spent: the pool is unhealthy.
+
+        Admission uses this to shed at the door instead of letting every
+        request ride a doomed retry loop into a 503.
+        """
+        return (
+            self.failure_budget is not None
+            and self._budget_spent > self.failure_budget
+        )
+
+    def _check_deadline(self) -> None:
+        """Refuse to claim (or keep) a worker slot for expired work."""
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired:
+            if self._registry is not None:
+                self._registry.counter(
+                    "serve_deadline_expired_total",
+                    "requests whose deadline expired before a resource was claimed",
+                    at="worker",
+                ).inc()
+            raise DeadlineExpired("worker")
 
     def _charge(self, exc: BaseException) -> None:
         """Account one failed attempt; raise once the budget is spent."""
@@ -162,13 +187,22 @@ class WorkerPool:
         async with self._semaphore():
             return await self._spawn(fn, args)
 
-    async def run(self, fn, *args):
-        """Run ``fn(*args)`` off-loop under supervision; returns its value."""
+    async def run(self, fn, *args, breaker=None):
+        """Run ``fn(*args)`` off-loop under supervision; returns its value.
+
+        An expired context deadline is refused *before* a worker slot is
+        claimed (and re-checked after the semaphore wait) — expired work
+        never occupies a thread.  When ``breaker`` is given, each failed
+        attempt charges it and a success resets it, so a wedged backend
+        trips its circuit instead of silently eating the retry budget.
+        """
         self._task_index += 1
         index = self._task_index
         if self._registry is not None:
             self._m_tasks.inc()
+        self._check_deadline()
         async with self._semaphore():
+            self._check_deadline()
             attempt = 0
             while True:
                 attempt += 1
@@ -178,6 +212,8 @@ class WorkerPool:
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
                     self._charge(exc)
                     if attempt <= self.retries:
                         self.report.retries += 1
@@ -193,9 +229,12 @@ class WorkerPool:
                         if delay > 0:
                             self.report.backoff_seconds += delay
                             await asyncio.sleep(delay)
+                        self._check_deadline()  # no retry for expired work
                         continue
                     self.report.cells_failed += 1
                     raise
                 else:
+                    if breaker is not None:
+                        breaker.record_success()
                     self.report.cells_computed += 1
                     return value

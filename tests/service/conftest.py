@@ -19,16 +19,22 @@ class ServiceClient:
         self.service = service
         self.port = port
 
-    def request(self, method: str, path: str, doc=None, timeout: float = 60.0):
+    def request_full(self, method: str, path: str, doc=None, timeout: float = 60.0):
+        """``(status, headers, payload)`` — headers for Retry-After checks."""
         conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
         body = None if doc is None else json.dumps(doc)
         conn.request(method, path, body, {"Content-Type": "application/json"})
         resp = conn.getresponse()
         raw = resp.read()
         conn.close()
-        ctype = resp.getheader("Content-Type", "")
+        headers = {k.lower(): v for k, v in resp.getheaders()}
+        ctype = headers.get("content-type", "")
         payload = json.loads(raw) if ctype.startswith("application/json") else raw.decode()
-        return resp.status, payload
+        return resp.status, headers, payload
+
+    def request(self, method: str, path: str, doc=None, timeout: float = 60.0):
+        status, _headers, payload = self.request_full(method, path, doc, timeout)
+        return status, payload
 
     def post(self, path: str, doc=None, **kw):
         return self.request("POST", path, doc, **kw)
@@ -50,6 +56,10 @@ def make_service():
 
     def factory(**config) -> ServiceClient:
         service = MappingService(**config)
+        # The fixture bypasses _serve_until_stopped (no kernel warmup), so
+        # readiness is declared here; tests of the starting state build
+        # their own service.
+        service.mark_ready()
         started = threading.Event()
         holder: dict = {}
 

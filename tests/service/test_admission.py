@@ -1,0 +1,302 @@
+"""Admission control, deadlines, and circuit breakers (PR 10 tentpole)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import permkernels
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExpired,
+    EwmaEstimate,
+    ShedError,
+    current_deadline,
+    deadline_scope,
+    detach_deadline,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired
+
+    def test_budget_counts_down(self):
+        d = Deadline(60.0)
+        assert 0 < d.remaining() <= 60.0
+        assert not d.expired
+
+    def test_tiny_budget_expires(self):
+        d = Deadline(1e-9)
+        assert d.expired
+        assert d.remaining() == 0.0
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1)
+
+    def test_scope_binds_and_restores(self):
+        d = Deadline(10)
+        assert current_deadline() is None
+        with deadline_scope(d):
+            assert current_deadline() is d
+        assert current_deadline() is None
+
+    def test_detach_clears_inside_task(self):
+        async def main():
+            d = Deadline(10)
+            with deadline_scope(d):
+                async def fill():
+                    detach_deadline()
+                    return current_deadline()
+
+                # create_task copies the context: the fill sees the
+                # deadline until it detaches, and the detach does not
+                # leak back into the requester.
+                inner = await asyncio.get_running_loop().create_task(fill())
+                assert inner is None
+                assert current_deadline() is d
+
+        run(main())
+
+    def test_expired_is_a_timeout_subclass(self):
+        assert issubclass(DeadlineExpired, asyncio.TimeoutError)
+        assert DeadlineExpired("queue").stage == "queue"
+
+
+class TestEwma:
+    def test_first_observation_seeds(self):
+        e = EwmaEstimate()
+        assert e.value is None
+        e.observe(2.0)
+        assert e.value == 2.0
+
+    def test_moves_toward_new_observations(self):
+        e = EwmaEstimate(alpha=0.5)
+        e.observe(2.0)
+        e.observe(4.0)
+        assert e.value == pytest.approx(3.0)
+
+
+class TestAdmission:
+    def test_tokens_granted_up_to_max_inflight(self):
+        async def main():
+            adm = AdmissionController(max_inflight=2, max_queue=0)
+            async with adm.admit():
+                async with adm.admit():
+                    assert adm.inflight == 2
+                    with pytest.raises(ShedError) as exc:
+                        async with adm.admit():
+                            pass
+                    assert exc.value.status == 429
+                    assert exc.value.reason == "queue_full"
+                    assert exc.value.retry_after >= 1
+            assert adm.idle()
+
+        run(main())
+
+    def test_queue_hands_token_fifo(self):
+        async def main():
+            adm = AdmissionController(max_inflight=1, max_queue=4)
+            order = []
+
+            async def user(tag, hold):
+                async with adm.admit():
+                    order.append(tag)
+                    await asyncio.sleep(hold)
+
+            await asyncio.gather(user("a", 0.02), user("b", 0), user("c", 0))
+            assert order == ["a", "b", "c"]
+            assert adm.idle()
+            assert adm.admitted_total == 3
+
+        run(main())
+
+    def test_expired_deadline_never_queues(self):
+        async def main():
+            adm = AdmissionController(max_inflight=1, max_queue=4)
+            with deadline_scope(Deadline(1e-9)):
+                with pytest.raises(DeadlineExpired):
+                    async with adm.admit():
+                        pass
+            assert adm.idle()
+
+        run(main())
+
+    def test_deadline_expires_while_queued(self):
+        async def main():
+            registry = MetricsRegistry()
+            adm = AdmissionController(max_inflight=1, max_queue=4, registry=registry)
+
+            async def holder():
+                async with adm.admit():
+                    await asyncio.sleep(0.1)
+
+            task = asyncio.get_running_loop().create_task(holder())
+            await asyncio.sleep(0.01)
+            with deadline_scope(Deadline(0.02)):
+                with pytest.raises(DeadlineExpired):
+                    async with adm.admit():
+                        pass
+            await task
+            assert adm.idle()
+            expired = registry.counter("serve_deadline_expired_total", at="queue")
+            assert expired.value == 1
+
+        run(main())
+
+    def test_health_hook_sheds_before_queueing(self):
+        async def main():
+            adm = AdmissionController(
+                max_inflight=4, max_queue=4, health=lambda: ("draining", 503)
+            )
+            with pytest.raises(ShedError) as exc:
+                async with adm.admit():
+                    pass
+            assert exc.value.status == 503
+            assert exc.value.reason == "draining"
+
+        run(main())
+
+    def test_shed_counter_by_reason(self):
+        async def main():
+            registry = MetricsRegistry()
+            adm = AdmissionController(max_inflight=1, max_queue=0, registry=registry)
+            async with adm.admit():
+                for _ in range(3):
+                    with pytest.raises(ShedError):
+                        async with adm.admit():
+                            pass
+            shed = registry.counter("serve_shed_total", reason="queue_full")
+            assert shed.value == 3
+            assert adm.shed_total == 3
+
+        run(main())
+
+    def test_pressure_spans_pipe(self):
+        async def main():
+            adm = AdmissionController(max_inflight=2, max_queue=2)
+            assert adm.pressure == 0.0
+            async with adm.admit():
+                assert adm.pressure == pytest.approx(0.25)
+
+        run(main())
+
+    def test_retry_after_scales_with_queue(self):
+        adm = AdmissionController(max_inflight=2, max_queue=8)
+        adm.service_time.observe(4.0)
+        base = adm.retry_after()
+        assert 1 <= base <= 60
+        adm._waiters.extend(object() for _ in range(6))  # type: ignore[arg-type]
+        assert adm.retry_after() > base
+        adm._waiters.clear()
+
+    def test_wait_idle_times_out(self):
+        async def main():
+            adm = AdmissionController(max_inflight=1, max_queue=0)
+            async with adm.admit():
+                assert not await adm.wait_idle(0.05)
+            assert await adm.wait_idle(0.05)
+
+        run(main())
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens_and_cooldown_half_opens(self):
+        clock = {"t": 0.0}
+        b = CircuitBreaker("x", threshold=2, reset_after=5.0, clock=lambda: clock["t"])
+        assert not b.blocked()
+        b.record_failure()
+        assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open"
+        assert b.blocked()
+        clock["t"] = 5.0
+        assert not b.blocked()  # half-open: probes flow again
+        assert b.state == "half-open"
+
+    def test_half_open_failure_reopens_success_closes(self):
+        clock = {"t": 0.0}
+        b = CircuitBreaker("x", threshold=2, reset_after=5.0, clock=lambda: clock["t"])
+        b.record_failure(); b.record_failure()
+        clock["t"] = 5.0
+        assert not b.blocked()
+        b.record_failure()  # half-open probe failed
+        assert b.state == "open"
+        assert b.trips == 2
+        clock["t"] = 10.0
+        assert not b.blocked()
+        b.record_success()
+        assert b.state == "closed"
+        assert not b.blocked()
+
+    def test_hooks_fire_on_edges(self):
+        events = []
+        clock = {"t": 0.0}
+        b = CircuitBreaker(
+            "x", threshold=1, reset_after=1.0,
+            on_open=lambda: events.append("open"),
+            on_close=lambda: events.append("close"),
+            clock=lambda: clock["t"],
+        )
+        b.record_failure()
+        clock["t"] = 1.0
+        b.blocked()  # open -> half-open runs on_close (probe the backend)
+        b.record_success()
+        assert events == ["open", "close"]
+
+    def test_state_gauge_exported(self):
+        registry = MetricsRegistry()
+        b = CircuitBreaker("numba", threshold=1, registry=registry)
+        gauge = registry.gauge("serve_breaker_state", backend="numba")
+        assert gauge.value == 0
+        b.record_failure()
+        assert gauge.value == 2
+
+    def test_board_configures_hooks_and_counts_trips(self):
+        board = BreakerBoard(threshold=1, reset_after=1.0)
+        fired = []
+        board.configure("numba", on_open=lambda: fired.append("numba"))
+        board.get("numba").record_failure()
+        board.get("cc").record_failure()
+        assert fired == ["numba"]
+        assert board.trips == 2
+        snap = board.snapshot()
+        assert snap["numba"]["state"] == "open"
+
+
+class TestBackendPin:
+    def test_pin_overrides_auto_and_unpins(self):
+        natural = permkernels.resolve_backend()
+        try:
+            permkernels.pin_backend("numpy")
+            assert permkernels.resolve_backend() == "numpy"
+        finally:
+            permkernels.pin_backend(None)
+        assert permkernels.resolve_backend() == natural
+
+    def test_force_wins_over_pin(self):
+        try:
+            permkernels.pin_backend("numpy")
+            with permkernels.force_backend("reference"):
+                assert permkernels.resolve_backend() == "reference"
+            assert permkernels.resolve_backend() == "numpy"
+        finally:
+            permkernels.pin_backend(None)
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(ValueError):
+            permkernels.pin_backend("fortran")

@@ -108,7 +108,7 @@ class TestHTTPEndpoints:
         client = make_service()
         status, payload = client.post("/shutdown")
         assert status == 200
-        assert payload == {"status": "shutting down"}
+        assert payload == {"status": "draining", "inflight": 0}
 
 
 class TestCacheSemantics:

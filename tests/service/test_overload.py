@@ -1,0 +1,279 @@
+"""Overload chaos: bursts, wedged workers, deadlines, and graceful drain.
+
+The daemon's survival contract under hostile conditions: shed with
+retry hints instead of 500ing, never let expired or doomed work occupy
+a worker, and drain deterministically on shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+
+def _unique_spec(index: int) -> dict:
+    """A distinct (never-cached) two-app problem per index."""
+    bump = 1.0 + index * 0.01
+    return {
+        "mesh": 4,
+        "apps": [
+            {
+                "name": "heavy",
+                "cache_rates": [2.0 * bump, 1.5, 1.0, 0.5],
+                "mem_rates": [0.4, 0.3, 0.2, 0.1],
+            },
+            {
+                "name": "light",
+                "cache_rates": [0.8, 0.6 * bump],
+                "mem_rates": [0.2, 0.05],
+            },
+        ],
+    }
+
+
+def _slow_solve(service, delay: float):
+    """Wrap the service's solve so every fill takes at least ``delay``."""
+    orig = service._solve_sync
+
+    def slow(*args, **kwargs):
+        time.sleep(delay)
+        return orig(*args, **kwargs)
+
+    service._solve_sync = slow
+
+
+class TestTimeoutCacheRegression:
+    """Satellite 1: a timed-out unique problem is a cache hit on retry."""
+
+    def test_timed_out_fill_completes_and_serves_retry(self, make_service, spec2):
+        client = make_service()
+        spec = {**spec2, "mesh": 8}
+        _slow_solve(client.service, 0.3)
+        status, headers, payload = client.request_full(
+            "POST", "/map", {**spec, "timeout": 0.05}
+        )
+        assert status == 504
+        assert "timed out" in payload["error"]
+        # 504s carry a retry hint, in the header and the body.
+        assert int(headers["retry-after"]) >= 1
+        assert payload["retry_after"] == int(headers["retry-after"])
+
+        # The fill detached the requester's deadline and keeps running;
+        # the retry must land on its result, not re-solve.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            doc = client.map(spec)
+            if doc["meta"]["cache"] in ("hit", "coalesced"):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("retry after timeout never hit the cache")
+        assert client.service.report.cells_computed == 1  # one solve total
+
+
+class TestSaturationBurst:
+    def test_4x_burst_sheds_cleanly(self, make_service):
+        client = make_service(
+            workers=2, max_inflight=2, max_queue=2, degrade="off"
+        )
+        _slow_solve(client.service, 0.15)
+        capacity = 4  # 2 inflight + 2 queued
+        burst = 4 * capacity
+        results = []
+        lock = threading.Lock()
+
+        def fire(i: int) -> None:
+            status, headers, payload = client.request_full(
+                "POST", "/map", _unique_spec(i), timeout=60.0
+            )
+            with lock:
+                results.append((status, headers, payload))
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(burst)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+
+        assert len(results) == burst
+        statuses = [s for s, _, _ in results]
+        assert 500 not in statuses, "overload must never produce a 500"
+        served = [r for r in results if r[0] == 200]
+        shed = [r for r in results if r[0] == 429]
+        assert served, "some of the burst must be served"
+        assert shed, "a 4x burst over a bounded queue must shed"
+        for _status, headers, payload in shed:
+            assert int(headers["retry-after"]) >= 1
+            assert payload["reason"] == "queue_full"
+        registry = client.service.registry
+        assert registry.counter("serve_shed_total", reason="queue_full").value == len(shed)
+
+    def test_burst_with_degradation_serves_everyone(self, make_service):
+        client = make_service(
+            workers=2, max_inflight=2, max_queue=4, degrade="auto"
+        )
+        _slow_solve(client.service, 0.1)
+        results = []
+        lock = threading.Lock()
+
+        def fire(i: int) -> None:
+            status, _headers, payload = client.request_full(
+                "POST", "/map", _unique_spec(i), timeout=60.0
+            )
+            with lock:
+                results.append((status, payload))
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        statuses = [s for s, _ in results]
+        assert 500 not in statuses
+        # Everything not shed is answered — some fully, some degraded,
+        # every degraded answer clearly marked.
+        for status, payload in results:
+            if status == 200 and "degraded" in payload["meta"]:
+                assert payload["result"]["bounds"] is not None
+
+
+class TestWedgedWorkers:
+    def test_wedged_solves_time_out_then_trip_the_pool(self, make_service, spec2):
+        client = make_service(
+            task_timeout=0.1, retries=0, failure_budget=1, max_queue=4
+        )
+
+        def wedge(*args, **kwargs):
+            time.sleep(30)
+
+        client.service._solve_sync = wedge
+        s1, h1, _ = client.request_full("POST", "/map", _unique_spec(1))
+        assert s1 == 504  # abandoned thread -> timeout, not a 500
+        assert "retry-after" in h1
+        s2, _h2, _ = client.request_full("POST", "/map", _unique_spec(2))
+        assert s2 == 503  # failure budget exhausted mid-request
+        # The pool is now unhealthy: shedding happens at the door.
+        s3, h3, p3 = client.request_full("POST", "/map", _unique_spec(3))
+        assert s3 == 503
+        assert p3["reason"] == "pool_unhealthy"
+        assert int(h3["retry-after"]) >= 1
+        registry = client.service.registry
+        assert registry.counter("serve_worker_wedged_total").value >= 2
+        assert (
+            registry.counter("serve_shed_total", reason="pool_unhealthy").value == 1
+        )
+
+
+class TestDeadlines:
+    def test_default_deadline_applies_server_side(self, make_service, spec2):
+        client = make_service(default_deadline=0.05)
+        _slow_solve(client.service, 0.5)
+        status, headers, payload = client.request_full("POST", "/map", spec2)
+        assert status == 504
+        assert "retry-after" in headers
+
+    def test_expired_deadline_is_counted(self, make_service, spec2):
+        client = make_service()
+        status, _headers, _payload = client.request_full(
+            "POST", "/map", {**spec2, "timeout": 1e-6}
+        )
+        assert status == 504
+        registry = client.service.registry
+        total = sum(
+            m.value
+            for m in registry
+            if m.name == "serve_deadline_expired_total"
+        )
+        assert total >= 1
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_sheds_new(self, make_service, spec2):
+        client = make_service(drain_timeout=10.0)
+        _slow_solve(client.service, 0.4)
+        inflight_result = {}
+
+        def slow_request() -> None:
+            inflight_result["r"] = client.request_full("POST", "/map", spec2)
+
+        t = threading.Thread(target=slow_request)
+        t.start()
+        time.sleep(0.15)  # let it claim a worker
+        status, payload = client.post("/shutdown")
+        assert status == 200
+        assert payload["status"] == "draining"
+        # New work is refused immediately with a retry hint...
+        s_new, h_new, p_new = client.request_full("POST", "/map", _unique_spec(9))
+        assert s_new == 503
+        assert p_new["reason"] == "draining"
+        assert "retry-after" in h_new
+        # ...readiness goes false...
+        s_ready, ready_doc = client.get("/readyz")
+        assert s_ready == 503
+        assert ready_doc["status"] == "draining"
+        # ...and the in-flight request still completes at full fidelity.
+        t.join(30)
+        status, _headers, doc = inflight_result["r"]
+        assert status == 200
+        assert doc["result"]["perm"] is not None
+        # A second shutdown is a no-op progress report, not a second drain.
+        status, payload = client.post("/shutdown")
+        assert status == 200
+        assert payload["status"] == "draining"
+
+    def test_drain_timeout_dumps_flight_record_anyway(self, make_service, tmp_path):
+        flight_out = tmp_path / "flight.json"
+        client = make_service(
+            trace=True, drain_timeout=0.1, flight_out=str(flight_out)
+        )
+        client.map(_unique_spec(0))  # one completed request on record
+        _slow_solve(client.service, 5.0)
+
+        def stuck_request() -> None:
+            try:
+                client.request_full("POST", "/map", _unique_spec(1), timeout=30)
+            except Exception:
+                pass  # the server may close the socket mid-drain
+
+        t = threading.Thread(target=stuck_request, daemon=True)
+        t.start()
+        time.sleep(0.2)
+        status, payload = client.post("/shutdown")
+        assert status == 200
+        # The drain gives up on the wedged request but still writes the
+        # deterministic final dump before stopping.
+        deadline = time.time() + 10
+        while time.time() < deadline and not flight_out.exists():
+            time.sleep(0.05)
+        assert flight_out.exists()
+        dump = json.loads(flight_out.read_text())
+        assert dump["schema"] == "repro-serve-requests"
+        assert dump["recorded"] >= 1
+
+
+class TestReadiness:
+    def test_ready_service_answers_200(self, client):
+        status, payload = client.get("/readyz")
+        assert status == 200
+        assert payload["status"] == "ready"
+        assert "backend" in payload
+
+    def test_starting_service_answers_503(self, make_service):
+        client = make_service()
+        client.service.ready = False  # as before kernel warmup finishes
+        status, payload = client.get("/readyz")
+        assert status == 503
+        assert payload["status"] == "starting"
+
+    def test_healthz_reports_admission_and_breakers(self, client, spec2):
+        client.map(spec2)
+        _status, payload = client.get("/healthz")
+        assert payload["admission"]["admitted"] == 1
+        assert payload["admission"]["shed"] == 0
+        assert payload["ready"] is True
+        assert payload["draining"] is False
+        assert isinstance(payload["breakers"], dict)
+        assert payload["degrade_mode"] == "auto"
