@@ -116,6 +116,12 @@ def pin_backend(name: str | None) -> None:
     and unpin once the breaker's cooldown admits a probe.  A scoped
     ``force_backend`` (tests) still wins over a pin.  All backends are
     bit-identical, so a pin changes cost, never bytes.
+
+    The pin is process-global while breakers are per-``MappingService``:
+    the supported contract is one serve daemon per process.  Embedding
+    several services in one process is safe for correctness (bytes never
+    change) but their breakers will overwrite each other's pin, so the
+    backend choice follows whichever breaker changed state last.
     """
     global _PINNED
     if name is not None and name not in _VALID_BACKENDS:

@@ -289,8 +289,11 @@ class AdmissionController:
     @contextlib.asynccontextmanager
     async def admit(self):
         """Acquire one admission token for the ``with`` body."""
-        t0 = time.monotonic()
         await self._acquire()
+        # Start the clock only once the token is held, so the EWMA
+        # measures service time and not queue wait — retry_after() would
+        # otherwise compound queue delay into its own estimate.
+        t0 = time.monotonic()
         try:
             yield self
         finally:
@@ -331,8 +334,11 @@ class AdmissionController:
         except BaseException:
             if future.done() and not future.cancelled():
                 # The token was granted in the same tick the wait gave
-                # up: hand it straight back so it is not leaked.
-                self.inflight += 1
+                # up.  A transferred token is already counted in
+                # ``inflight`` (transfer leaves the count unchanged), so
+                # hand it straight to _release — incrementing here would
+                # over-count and wedge admission once the phantom holder
+                # can never release.
                 self._release()
             else:
                 future.cancel()

@@ -209,6 +209,7 @@ class MappingService:
         self._flight_dumped = False
         self.ready = False
         self.draining = False
+        self._drain_task: asyncio.Task | None = None
         self.admission = AdmissionController(
             max_inflight=max_inflight if max_inflight is not None else workers * 4,
             max_queue=max_queue,
@@ -299,7 +300,9 @@ class MappingService:
             self.final_flight_dump()
             stop.set()
 
-        asyncio.get_running_loop().create_task(drain())
+        # The loop only keeps a weak reference to tasks; hold a strong
+        # one so the drain cannot be garbage-collected mid-flight.
+        self._drain_task = asyncio.get_running_loop().create_task(drain())
         return response
 
     def final_flight_dump(self) -> None:

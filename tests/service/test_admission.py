@@ -213,6 +213,42 @@ class TestAdmission:
 
         run(main())
 
+    def test_cancel_in_grant_tick_does_not_wedge(self):
+        """Regression: cancelling a waiter in the tick its token is granted.
+
+        map_request wraps admitted() in asyncio.wait_for, so deadlines
+        cancel queued waiters exactly when tokens turn over under
+        overload.  The abort path must hand the already-counted token to
+        _release without re-incrementing inflight — the old code left a
+        phantom holder (inflight=1, nobody holding) that queued every
+        later request forever and made drain/wait_idle hang.
+        """
+
+        async def main():
+            adm = AdmissionController(max_inflight=1, max_queue=4)
+            await adm._acquire()  # hold the only token
+
+            async def waiter():
+                async with adm.admit():
+                    pass
+
+            w = asyncio.get_running_loop().create_task(waiter())
+            await asyncio.sleep(0)  # let the waiter queue
+            assert adm.waiting == 1
+            adm._release()  # grants the waiter's future in this tick...
+            w.cancel()  # ...and the cancel lands before it can resume
+            with pytest.raises(asyncio.CancelledError):
+                await w
+            assert adm.inflight == 0
+            assert adm.idle()
+            # Admission must not be wedged: a fresh request gets the token.
+            async with adm.admit():
+                assert adm.inflight == 1
+            assert adm.idle()
+            assert await adm.wait_idle(0.05)
+
+        run(main())
+
 
 class TestCircuitBreaker:
     def test_threshold_opens_and_cooldown_half_opens(self):
